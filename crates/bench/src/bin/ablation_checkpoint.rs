@@ -1,0 +1,74 @@
+//! §6.3 ablation: incremental checkpointing bounds misspeculation
+//! recovery to the region that misspeculated.
+//!
+//! A long FASE (8 expensive regions + a misspeculating tail) runs at 25x
+//! persist-path latency with and without intra-FASE checkpoints. The
+//! paper cites iDO-style region partitioning reaching 400x faster
+//! recovery for some long FASEs; the ratio here scales with how much
+//! work precedes the misspeculating region.
+
+use pmem_spec::System;
+use pmemspec_bench::csv_mode;
+use pmemspec_engine::clock::Duration;
+use pmemspec_engine::SimConfig;
+use pmemspec_isa::{lower_program, DesignKind};
+use pmemspec_workloads::synthetic;
+
+fn main() {
+    let cfg = SimConfig::asplos21(1).with_persist_path_latency(Duration::from_ns(500));
+    let mut rows = Vec::new();
+    for (label, checkpoints) in [
+        ("whole-FASE recovery", false),
+        ("checkpointed (§6.3)", true),
+    ] {
+        for segments in [2usize, 8, 32] {
+            let p = synthetic::long_fase_inducer(&cfg, 20, segments, checkpoints);
+            let r = System::new(cfg.clone(), lower_program(DesignKind::PmemSpec, &p))
+                .expect("valid system")
+                .run();
+            rows.push((label, segments, r));
+        }
+    }
+    if csv_mode() {
+        println!("mode,segments,total_ns,aborts,partial_aborts");
+        for (label, segments, r) in &rows {
+            println!(
+                "{label},{segments},{},{},{}",
+                r.total_time.as_ns(),
+                r.fases_aborted,
+                r.stats.counter("fase.partial_aborts")
+            );
+        }
+    } else {
+        println!("## §6.3 ablation: recovery scope vs FASE length (25x persist latency)");
+        println!();
+        println!("| recovery | prefix regions | run time (ns) | aborts | partial |");
+        println!("|---|---|---|---|---|");
+        for (label, segments, r) in &rows {
+            println!(
+                "| {label} | {segments} | {} | {} | {} |",
+                r.total_time.as_ns(),
+                r.fases_aborted,
+                r.stats.counter("fase.partial_aborts")
+            );
+        }
+        // Pair up the speedups.
+        println!();
+        for segments in [2usize, 8, 32] {
+            let plain = rows
+                .iter()
+                .find(|(l, s, _)| *l == "whole-FASE recovery" && *s == segments)
+                .map(|(_, _, r)| r.total_time.as_ns())
+                .expect("row exists");
+            let ck = rows
+                .iter()
+                .find(|(l, s, _)| *l == "checkpointed (§6.3)" && *s == segments)
+                .map(|(_, _, r)| r.total_time.as_ns())
+                .expect("row exists");
+            println!(
+                "{segments} prefix regions: checkpointing saves {:.1}% of run time",
+                (1.0 - ck as f64 / plain as f64) * 100.0
+            );
+        }
+    }
+}

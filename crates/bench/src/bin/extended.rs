@@ -1,0 +1,23 @@
+//! Extension beyond the paper: the Figure 9 comparison including
+//! StrandWeaver (strand persistency — the design the paper's §9 singles
+//! out as the strongest prior work but does not simulate).
+//!
+//! Expectation from the literature: StrandWeaver lands between HOPS and
+//! PMEM-Spec — it removes cross-FASE drain dependencies (each FASE is a
+//! strand) but still pays intra-strand persist-barriers between the log
+//! and data phases, which PMEM-Spec's FIFO path eliminates entirely.
+
+use pmemspec_bench::{normalized_suite_for, print_suite_for};
+use pmemspec_engine::SimConfig;
+use pmemspec_isa::DesignKind;
+
+fn main() {
+    let cfg = SimConfig::asplos21(8);
+    let designs = DesignKind::ALL_EXTENDED;
+    let rows = normalized_suite_for(&cfg, &designs);
+    print_suite_for(
+        "Extended comparison: five designs at 8 cores (normalized to IntelX86)",
+        &designs,
+        &rows,
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 10: the same comparison in 16-/32-/64-core systems.
+//!
+//! Paper: PMEM-Spec outperforms the baseline/HOPS by 18.8%/8.2% (16),
+//! 18.2%/8.0% (32) and 17.1%/10% (64); DPO degrades with core count.
+
+use pmemspec_bench::{geomeans, normalized_suite, print_suite};
+use pmemspec_engine::SimConfig;
+
+fn main() {
+    for cores in [16usize, 32, 64] {
+        let cfg = SimConfig::asplos21(cores);
+        let rows = normalized_suite(&cfg);
+        print_suite(&format!("Figure 10: {cores}-core throughput"), &rows);
+        let g = geomeans(&rows);
+        println!(
+            "PMEM-Spec vs baseline: +{:.1}%  |  PMEM-Spec vs HOPS: +{:.1}%",
+            (g[3] - 1.0) * 100.0,
+            (g[3] / g[2] - 1.0) * 100.0
+        );
+        println!();
+    }
+}

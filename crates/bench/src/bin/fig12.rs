@@ -1,0 +1,54 @@
+//! Figure 12: geomean throughput of HOPS and PMEM-Spec vs persist-path
+//! latency (20-100 ns), normalized to the IntelX86 baseline (which has no
+//! persist path and stays fixed).
+//!
+//! Paper: both stay above the baseline across the sweep because the
+//! durability barrier is infrequent.
+
+use pmemspec_bench::{csv_mode, default_fases, throughput, SEEDS};
+use pmemspec_engine::clock::Duration;
+use pmemspec_engine::SimConfig;
+use pmemspec_isa::DesignKind;
+use pmemspec_workloads::Benchmark;
+
+fn main() {
+    let _ = SEEDS; // documented averaging lives in throughput()
+    let latencies = [20u64, 40, 60, 80, 100];
+    let base_cfg = SimConfig::asplos21(8);
+    // Baseline geomean (independent of the persist path).
+    let mut base_ln = 0.0;
+    for b in Benchmark::ALL {
+        base_ln += throughput(b, DesignKind::IntelX86, &base_cfg, default_fases(b)).ln();
+    }
+    let base = (base_ln / Benchmark::ALL.len() as f64).exp();
+
+    let mut rows = Vec::new();
+    for &ns in &latencies {
+        let cfg = base_cfg
+            .clone()
+            .with_persist_path_latency(Duration::from_ns(ns));
+        let mut out = [0.0f64; 2];
+        for (i, d) in [DesignKind::Hops, DesignKind::PmemSpec].iter().enumerate() {
+            let mut ln = 0.0;
+            for b in Benchmark::ALL {
+                ln += throughput(b, *d, &cfg, default_fases(b)).ln();
+            }
+            out[i] = (ln / Benchmark::ALL.len() as f64).exp() / base;
+        }
+        rows.push((ns, out[0], out[1]));
+    }
+    if csv_mode() {
+        println!("persist_path_ns,HOPS,PMEM-Spec");
+        for (ns, h, p) in &rows {
+            println!("{ns},{h:.4},{p:.4}");
+        }
+    } else {
+        println!("## Figure 12: persist-path latency sensitivity (geomean vs IntelX86 = 1.0)");
+        println!();
+        println!("| persist path (ns) | HOPS | PMEM-Spec |");
+        println!("|---|---|---|");
+        for (ns, h, p) in &rows {
+            println!("| {ns} | {h:.2} | {p:.2} |");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure 9: throughput of all four designs on the eight benchmarks in
+//! the 8-core system, normalized to the IntelX86 epoch baseline.
+//!
+//! Paper: PMEM-Spec 1.272x the baseline and 1.106x HOPS on average; DPO
+//! below the baseline; Queue/Hashmap show the smallest gains;
+//! Vacation/Memcached benefit from long transactions.
+
+use pmemspec_bench::{normalized_suite, print_suite};
+use pmemspec_engine::SimConfig;
+
+fn main() {
+    let cfg = SimConfig::asplos21(8);
+    let rows = normalized_suite(&cfg);
+    print_suite(
+        "Figure 9: 8-core throughput (normalized to IntelX86)",
+        &rows,
+    );
+}

@@ -1,0 +1,90 @@
+//! §8.4: misspeculation rates.
+//!
+//! Part 1 — the real benchmark suite never misspeculates at the default
+//! configuration.
+//! Part 2 — the synthetic inducer (store; evict all the way to PM;
+//! reload) produces load misspeculation only at several times the
+//! realistic persist-path latency, and recovery preserves every FASE.
+
+use pmem_spec::{run_program, System};
+use pmemspec_bench::csv_mode;
+use pmemspec_engine::clock::Duration;
+use pmemspec_engine::SimConfig;
+use pmemspec_isa::{lower_program, DesignKind};
+use pmemspec_workloads::{synthetic, Benchmark, WorkloadParams};
+
+fn main() {
+    let csv = csv_mode();
+    if !csv {
+        println!("## §8.4 part 1: misspeculation on the benchmark suite (default config)");
+        println!();
+        println!("| benchmark | load misspec | store misspec | stale reads (ground truth) |");
+        println!("|---|---|---|---|");
+    } else {
+        println!("benchmark,load_misspec,store_misspec,stale_ground_truth");
+    }
+    for b in Benchmark::ALL {
+        let fases = if b == Benchmark::Memcached { 60 } else { 200 };
+        let params = WorkloadParams::small(8).with_fases(fases);
+        let g = b.generate(&params);
+        let r = run_program(
+            SimConfig::asplos21(8),
+            lower_program(DesignKind::PmemSpec, &g.program),
+        )
+        .expect("valid run");
+        if csv {
+            println!(
+                "{},{},{},{}",
+                b.label(),
+                r.load_misspec_detected,
+                r.store_misspec_detected,
+                r.stale_reads_ground_truth
+            );
+        } else {
+            println!(
+                "| {} | {} | {} | {} |",
+                b.label(),
+                r.load_misspec_detected,
+                r.store_misspec_detected,
+                r.stale_reads_ground_truth
+            );
+        }
+    }
+
+    if !csv {
+        println!();
+        println!("## §8.4 part 2: synthetic inducer vs persist-path latency");
+        println!();
+        println!(
+            "| persist path | detected | true stale reads | FASEs aborted | FASEs committed |"
+        );
+        println!("|---|---|---|---|---|");
+    } else {
+        println!("persist_path_ns,detected,stale,aborted,committed");
+    }
+    for mult in [1u64, 2, 5, 10, 25, 50] {
+        let ns = 20 * mult;
+        let cfg = SimConfig::asplos21(1).with_persist_path_latency(Duration::from_ns(ns));
+        let p = synthetic::load_misspec_inducer(&cfg, 50);
+        let r = System::new(cfg, lower_program(DesignKind::PmemSpec, &p))
+            .expect("valid system")
+            .run();
+        if csv {
+            println!(
+                "{ns},{},{},{},{}",
+                r.load_misspec_detected,
+                r.stale_reads_ground_truth,
+                r.fases_aborted,
+                r.fases_committed
+            );
+        } else {
+            println!(
+                "| {ns} ns ({mult}x) | {} | {} | {} | {} |",
+                r.load_misspec_detected,
+                r.stale_reads_ground_truth,
+                r.fases_aborted,
+                r.fases_committed
+            );
+        }
+    }
+}

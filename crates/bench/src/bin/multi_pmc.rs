@@ -1,0 +1,89 @@
+//! §7 extension: multiple PM controllers.
+//!
+//! Part 1 — throughput scaling of PMEM-Spec with 1/2/4 line-interleaved
+//! controllers behind an order-preserving network (the paper's proposed
+//! fix), on the benchmark suite.
+//!
+//! Part 2 — the hazard the paper warns about: with independent
+//! per-controller persist routes, a congestion-inducing program inverts a
+//! single thread's persist order (undetectable by per-controller
+//! speculation buffers); the order-preserving network eliminates it.
+
+use pmem_spec::{run_program, System};
+use pmemspec_bench::{csv_mode, default_fases, SEEDS};
+use pmemspec_engine::config::PmcNetworkOrder;
+use pmemspec_engine::SimConfig;
+use pmemspec_isa::{lower_program, DesignKind};
+use pmemspec_workloads::{synthetic, Benchmark, WorkloadParams};
+
+fn main() {
+    let csv = csv_mode();
+    if !csv {
+        println!("## Multi-controller scaling (PMEM-Spec, 8 cores, ordered network)");
+        println!();
+        println!("| controllers | geomean throughput vs 1 controller | order violations |");
+        println!("|---|---|---|");
+    } else {
+        println!("controllers,relative_throughput,order_violations");
+    }
+    let mut base = None;
+    for controllers in [1usize, 2, 4] {
+        let cfg = SimConfig::asplos21(8).with_pm_controllers(controllers, PmcNetworkOrder::Fifo);
+        let mut ln_sum = 0.0;
+        let mut n = 0u32;
+        let mut violations = 0u64;
+        for b in Benchmark::ALL {
+            let fases = default_fases(b) / 2;
+            for &seed in &SEEDS[..1] {
+                let params = WorkloadParams::small(8).with_fases(fases).with_seed(seed);
+                let g = b.generate(&params);
+                let r = run_program(cfg.clone(), lower_program(DesignKind::PmemSpec, &g.program))
+                    .expect("valid run");
+                ln_sum += r.throughput().ln();
+                violations += r.persist_order_violations;
+                n += 1;
+            }
+        }
+        let geo = (ln_sum / f64::from(n)).exp();
+        let rel = base.map(|b: f64| geo / b).unwrap_or(1.0);
+        if base.is_none() {
+            base = Some(geo);
+        }
+        if csv {
+            println!("{controllers},{rel:.4},{violations}");
+        } else {
+            println!("| {controllers} | {rel:.3} | {violations} |");
+        }
+    }
+
+    if !csv {
+        println!();
+        println!("## The §7 hazard: persist-order across controllers (flood program)");
+        println!();
+        println!("| network | order violations | FASEs committed |");
+        println!("|---|---|---|");
+    } else {
+        println!("network,order_violations,committed");
+    }
+    for (label, order) in [
+        ("order-preserving (proposed fix)", PmcNetworkOrder::Fifo),
+        ("independent routes (hazard)", PmcNetworkOrder::Unordered),
+    ] {
+        let cfg = SimConfig::asplos21(1).with_pm_controllers(2, order);
+        let p = synthetic::cross_controller_inversion(2, 50);
+        let r = System::new(cfg, lower_program(DesignKind::PmemSpec, &p))
+            .expect("valid system")
+            .run();
+        if csv {
+            println!(
+                "{label},{},{}",
+                r.persist_order_violations, r.fases_committed
+            );
+        } else {
+            println!(
+                "| {label} | {} | {} |",
+                r.persist_order_violations, r.fases_committed
+            );
+        }
+    }
+}

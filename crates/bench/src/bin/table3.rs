@@ -1,0 +1,42 @@
+//! Table 3: the simulator configuration.
+
+use pmemspec_engine::SimConfig;
+
+fn main() {
+    let cfg = SimConfig::asplos21(8);
+    println!("## Table 3: simulator configuration");
+    println!();
+    println!("| Component | Configuration |");
+    println!("|---|---|");
+    println!(
+        "| Core | 2 GHz, {}-entry store queue, 8 load MSHRs |",
+        cfg.store_queue
+    );
+    println!(
+        "| L1 D-cache | {} KB, {}-way, private, {} ns hit |",
+        cfg.l1.size_bytes / 1024,
+        cfg.l1.ways,
+        cfg.l1.hit_latency.as_ns()
+    );
+    println!(
+        "| L2 (LLC) | {} MB, {}-way, shared, {} ns hit |",
+        cfg.llc.size_bytes / 1024 / 1024,
+        cfg.llc.ways,
+        cfg.llc.hit_latency.as_ns()
+    );
+    println!(
+        "| PM controller | {}/{}-entry read/write queue, {}-entry speculation buffer |",
+        cfg.pm.read_queue, cfg.pm.write_queue, cfg.pm.spec_buffer_entries
+    );
+    println!(
+        "| PM | read = {} ns / write = {} ns |",
+        cfg.pm.read_latency.as_ns(),
+        cfg.pm.write_latency.as_ns()
+    );
+    println!("| Persist path | {} ns |", cfg.persist_path_latency.as_ns());
+    println!();
+    println!(
+        "Speculation window (8 cores): {} ns",
+        cfg.speculation_window().as_ns()
+    );
+}

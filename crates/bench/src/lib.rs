@@ -1,0 +1,224 @@
+//! Shared experiment harness for the paper's evaluation (§8).
+//!
+//! Each table/figure of the paper has a binary in `src/bin/` built on the
+//! helpers here:
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table3` | Table 3 (simulator configuration) |
+//! | `fig9` | Figure 9 (8-core throughput, all designs, all benchmarks) |
+//! | `fig10` | Figure 10 (16/32/64-core sensitivity) |
+//! | `fig11` | Figure 11 (speculation-buffer size sensitivity) |
+//! | `fig12` | Figure 12 (persist-path latency sensitivity) |
+//! | `misspec` | §8.4 (misspeculation rates + synthetic inducer sweep) |
+//! | `ablation_detect` | Figure 4/6 (fetch- vs eviction-based detection) |
+//!
+//! Results print as markdown tables; pass `--csv` to any binary for
+//! machine-readable output. Runs average several RNG seeds because
+//! lock-contention scheduling makes single runs noisy (±5%).
+
+use pmem_spec::{run_program, RunReport};
+use pmemspec_engine::SimConfig;
+use pmemspec_isa::{lower_program, DesignKind};
+use pmemspec_workloads::{Benchmark, WorkloadParams};
+
+/// Seeds averaged per data point.
+pub const SEEDS: [u64; 3] = [11, 42, 1337];
+
+/// FASEs per thread for the scaled-down main experiments (the paper runs
+/// 100 K; throughput ratios converge far earlier).
+pub fn default_fases(benchmark: Benchmark) -> usize {
+    match benchmark {
+        // Memcached moves a kilobyte per SET; keep wall time in check.
+        Benchmark::Memcached => 120,
+        _ => 400,
+    }
+}
+
+/// Runs one (benchmark, design) point and returns the simulated
+/// throughput in FASEs per second, averaged over [`SEEDS`].
+pub fn throughput(benchmark: Benchmark, design: DesignKind, cfg: &SimConfig, fases: usize) -> f64 {
+    let mut sum = 0.0;
+    for &seed in &SEEDS {
+        let params = WorkloadParams::small(cfg.cores)
+            .with_fases(fases)
+            .with_seed(seed);
+        let g = benchmark.generate(&params);
+        let program = lower_program(design, &g.program);
+        let report = run_program(cfg.clone(), program).expect("valid experiment");
+        if !report.misspeculation_free() {
+            // Large core counts widen the speculation window (cores x path
+            // latency), which can trip rare conservative detections;
+            // recovery preserves every FASE, and the cost is already in
+            // the measured throughput. Surface it for the record.
+            eprintln!(
+                "note: {benchmark}/{design} ({} cores): {} load / {} store \
+                 misspeculations detected, {} FASEs re-executed",
+                cfg.cores,
+                report.load_misspec_detected,
+                report.store_misspec_detected,
+                report.fases_aborted
+            );
+        }
+        sum += report.throughput();
+    }
+    sum / SEEDS.len() as f64
+}
+
+/// Runs one point and returns the full report (first seed only).
+pub fn run_once(
+    benchmark: Benchmark,
+    design: DesignKind,
+    cfg: &SimConfig,
+    fases: usize,
+) -> RunReport {
+    let params = WorkloadParams::small(cfg.cores)
+        .with_fases(fases)
+        .with_seed(SEEDS[0]);
+    let g = benchmark.generate(&params);
+    run_program(cfg.clone(), lower_program(design, &g.program)).expect("valid experiment")
+}
+
+/// A row of normalized throughputs: benchmark label plus one relative
+/// value per design, normalized to IntelX86.
+#[derive(Debug, Clone)]
+pub struct NormalizedRow {
+    /// Benchmark label.
+    pub label: String,
+    /// Relative throughput per design, in the order of the design list
+    /// the suite ran with.
+    pub relative: Vec<f64>,
+}
+
+/// Runs the whole suite under `cfg` for `designs`, normalized to the
+/// IntelX86 baseline.
+pub fn normalized_suite_for(cfg: &SimConfig, designs: &[DesignKind]) -> Vec<NormalizedRow> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let fases = default_fases(b);
+            let base = throughput(b, DesignKind::IntelX86, cfg, fases);
+            let relative = designs
+                .iter()
+                .map(|&d| {
+                    if d == DesignKind::IntelX86 {
+                        1.0
+                    } else {
+                        throughput(b, d, cfg, fases) / base
+                    }
+                })
+                .collect();
+            NormalizedRow {
+                label: b.label().to_string(),
+                relative,
+            }
+        })
+        .collect()
+}
+
+/// Runs the paper's four designs (Figure 9/10).
+pub fn normalized_suite(cfg: &SimConfig) -> Vec<NormalizedRow> {
+    normalized_suite_for(cfg, &DesignKind::ALL)
+}
+
+/// Geometric mean of the rows, per design.
+pub fn geomeans(rows: &[NormalizedRow]) -> Vec<f64> {
+    let n = rows.first().map_or(0, |r| r.relative.len());
+    let mut acc = vec![0.0f64; n];
+    for row in rows {
+        for (a, r) in acc.iter_mut().zip(&row.relative) {
+            *a += r.ln();
+        }
+    }
+    acc.into_iter()
+        .map(|a| (a / rows.len() as f64).exp())
+        .collect()
+}
+
+/// Output mode chosen by the `--csv` flag.
+pub fn csv_mode() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Prints rows as a markdown (or CSV) table with a geomean footer.
+pub fn print_suite_for(title: &str, designs: &[DesignKind], rows: &[NormalizedRow]) {
+    let csv = csv_mode();
+    let labels: Vec<&str> = designs.iter().map(|d| d.label()).collect();
+    let fmt_row = |vals: &[f64], digits: usize| -> String {
+        vals.iter()
+            .map(|v| format!("{v:.digits$}"))
+            .collect::<Vec<_>>()
+            .join(if csv { "," } else { " | " })
+    };
+    if csv {
+        println!("benchmark,{}", labels.join(","));
+        for row in rows {
+            println!("{},{}", row.label, fmt_row(&row.relative, 4));
+        }
+        println!("geomean,{}", fmt_row(&geomeans(rows), 4));
+    } else {
+        println!("## {title}");
+        println!();
+        println!("| benchmark | {} |", labels.join(" | "));
+        println!("|---|{}", "---|".repeat(labels.len()));
+        for row in rows {
+            println!("| {} | {} |", row.label, fmt_row(&row.relative, 2));
+        }
+        println!("| **geomean** | {} |", fmt_row(&geomeans(rows), 2));
+        println!();
+    }
+}
+
+/// Prints rows for the paper's four designs.
+pub fn print_suite(title: &str, rows: &[NormalizedRow]) {
+    print_suite_for(title, &DesignKind::ALL, rows);
+}
+
+/// The configuration used by Figure 11: the speculation buffer only sees
+/// traffic when dirty PM lines leave the LLC, so the scaled-down runs use
+/// a proportionally scaled LLC (the paper's 100 K-FASE footprints overflow
+/// the 16 MB LLC naturally; our shorter runs do not). Documented in
+/// EXPERIMENTS.md.
+pub fn scaled_llc_config(cores: usize) -> SimConfig {
+    let mut cfg = SimConfig::asplos21(cores);
+    cfg.llc.size_bytes = 512 * 1024;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_math() {
+        let rows = vec![
+            NormalizedRow {
+                label: "a".into(),
+                relative: vec![1.0, 2.0, 4.0, 1.0],
+            },
+            NormalizedRow {
+                label: "b".into(),
+                relative: vec![1.0, 0.5, 1.0, 4.0],
+            },
+        ];
+        let g = geomeans(&rows);
+        assert!((g[0] - 1.0).abs() < 1e-9);
+        assert!((g[1] - 1.0).abs() < 1e-9);
+        assert!((g[2] - 2.0).abs() < 1e-9);
+        assert!((g[3] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_helper_runs() {
+        let cfg = SimConfig::asplos21(2);
+        let t = throughput(Benchmark::ArraySwaps, DesignKind::PmemSpec, &cfg, 10);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn scaled_llc_keeps_validation() {
+        let cfg = scaled_llc_config(8);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.llc.size_bytes, 512 * 1024);
+    }
+}

@@ -1,0 +1,157 @@
+//! A counting bloom filter over cache-line addresses.
+//!
+//! HOPS keeps a bloom filter in the PM controller holding the addresses of
+//! blocks with pending persists; every PM load consults it and is delayed
+//! on a (possibly false-positive) hit (§5.1.1, §8.2.2). A *counting*
+//! filter is required because entries must be removed when their persists
+//! drain.
+
+/// A counting bloom filter with two hash functions.
+///
+/// # Examples
+///
+/// ```
+/// use pmem_spec::bloom::CountingBloom;
+///
+/// let mut f = CountingBloom::new(1024);
+/// f.insert(42);
+/// assert!(f.might_contain(42));
+/// f.remove(42);
+/// assert!(!f.might_contain(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingBloom {
+    counters: Vec<u16>,
+    inserted: u64,
+}
+
+fn mix(mut x: u64) -> u64 {
+    // The 64-bit finalizer of MurmurHash3.
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+impl CountingBloom {
+    /// Creates a filter with `slots` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not a power of two.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots.is_power_of_two(), "slot count must be a power of two");
+        CountingBloom {
+            counters: vec![0; slots],
+            inserted: 0,
+        }
+    }
+
+    fn indices(&self, key: u64) -> (usize, usize) {
+        let mask = self.counters.len() - 1;
+        let h1 = mix(key) as usize & mask;
+        let h2 = mix(key ^ 0x9E37_79B9_7F4A_7C15) as usize & mask;
+        (h1, h2)
+    }
+
+    /// Records one occurrence of `key`.
+    pub fn insert(&mut self, key: u64) {
+        let (a, b) = self.indices(key);
+        self.counters[a] = self.counters[a].saturating_add(1);
+        self.counters[b] = self.counters[b].saturating_add(1);
+        self.inserted += 1;
+    }
+
+    /// Removes one occurrence of `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `key` was never inserted — removing a
+    /// non-member corrupts a counting filter.
+    pub fn remove(&mut self, key: u64) {
+        let (a, b) = self.indices(key);
+        debug_assert!(
+            self.counters[a] > 0 && self.counters[b] > 0,
+            "removing non-member {key}"
+        );
+        self.counters[a] = self.counters[a].saturating_sub(1);
+        self.counters[b] = self.counters[b].saturating_sub(1);
+        self.inserted = self.inserted.saturating_sub(1);
+    }
+
+    /// True when `key` *may* have live insertions (false positives
+    /// possible, false negatives not).
+    pub fn might_contain(&self, key: u64) -> bool {
+        let (a, b) = self.indices(key);
+        self.counters[a] > 0 && self.counters[b] > 0
+    }
+
+    /// Live insertion count.
+    pub fn len(&self) -> u64 {
+        self.inserted
+    }
+
+    /// True when nothing is inserted.
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = CountingBloom::new(256);
+        for k in 0..100u64 {
+            f.insert(k * 64);
+        }
+        for k in 0..100u64 {
+            assert!(f.might_contain(k * 64));
+        }
+        assert_eq!(f.len(), 100);
+    }
+
+    #[test]
+    fn removal_clears_membership() {
+        let mut f = CountingBloom::new(1024);
+        f.insert(7);
+        f.insert(7);
+        f.remove(7);
+        assert!(f.might_contain(7), "one occurrence still live");
+        f.remove(7);
+        assert!(!f.might_contain(7));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn counting_survives_colliding_keys() {
+        let mut f = CountingBloom::new(4); // tiny: everything collides
+        for k in 0..16u64 {
+            f.insert(k);
+        }
+        for k in 0..15u64 {
+            f.remove(k);
+        }
+        assert!(f.might_contain(15), "remaining member never lost");
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_when_sized() {
+        let mut f = CountingBloom::new(4096);
+        for k in 0..64u64 {
+            f.insert(k);
+        }
+        let fps = (1000..11_000u64).filter(|&k| f.might_contain(k)).count();
+        // Two hashes, 64 members, 4096 slots: expected FP rate well under 1%.
+        assert!(fps < 50, "false positive count {fps} too high");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let _ = CountingBloom::new(100);
+    }
+}

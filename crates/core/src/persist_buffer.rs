@@ -1,0 +1,278 @@
+//! Epoch-ordered persist buffers, as used by HOPS and DPO (Figure 1a/1b).
+//!
+//! Both prior designs keep a per-core buffer of to-be-persisted stores next
+//! to the L1. Stores enter at commit; the buffer drains asynchronously to
+//! the PM controller, preserving *epoch* order: persists of epoch *n+1*
+//! may not begin until every persist of epoch *n* is durable (accepted by
+//! the ADR domain). Within an epoch, persists pipeline freely.
+//!
+//! * **HOPS** — `ofence` opens a new epoch without stalling; `dfence`
+//!   stalls until the buffer drains.
+//! * **DPO** — additionally *serializes drains globally*: only a single
+//!   flush may be outstanding to the PM controller at a time (§8.2.2).
+//!   The caller threads a shared `global_token` through inserts to model
+//!   this.
+//!
+//! A full buffer stalls the inserting core until the oldest entry drains,
+//! which is DPO's dominant cost.
+
+use std::collections::VecDeque;
+
+use pmemspec_engine::clock::{Cycle, Duration};
+use pmemspec_mem::PmController;
+
+/// The result of inserting one store into the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PbInsert {
+    /// When the core could actually insert (later than the commit time
+    /// only when the buffer was full — the core stalls until then).
+    pub admitted: Cycle,
+    /// When the persist was accepted by the PM controller (durable).
+    pub accepted: Cycle,
+}
+
+/// One core's epoch-ordered persist buffer.
+///
+/// # Examples
+///
+/// ```
+/// use pmem_spec::persist_buffer::EpochPersistBuffer;
+/// use pmemspec_engine::{SimConfig, Cycle};
+/// use pmemspec_engine::clock::Duration;
+/// use pmemspec_mem::PmController;
+///
+/// let cfg = SimConfig::asplos21(8);
+/// let mut pmc = PmController::new(&cfg.pm);
+/// let mut pb = EpochPersistBuffer::new(32, Duration::from_ns(20), Duration::from_ns(2));
+/// let ins = pb.insert(Cycle::ZERO, 0, &mut pmc, None);
+/// assert_eq!(ins.admitted, Cycle::ZERO);
+/// assert_eq!(ins.accepted.as_ns(), 20, "path latency then immediate acceptance");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochPersistBuffer {
+    capacity: usize,
+    path_latency: Duration,
+    gap: Duration,
+    /// Spacing enforced between *globally serialized* flushes (DPO's
+    /// single-flush-at-a-time rule); defaults to the per-core gap.
+    serial_slot: Duration,
+    /// Acceptance times of entries still occupying the buffer, FIFO.
+    pending: VecDeque<Cycle>,
+    /// Delivery time of the most recent entry (FIFO spacing).
+    last_delivery: Cycle,
+    /// All persists of *closed* epochs are durable by this time.
+    closed_epochs_durable: Cycle,
+    /// Running max acceptance within the current epoch.
+    epoch_durable: Cycle,
+    /// Epochs opened (ofence count + 1).
+    epochs: u64,
+    inserted: u64,
+    full_stalls: u64,
+}
+
+impl EpochPersistBuffer {
+    /// Creates a buffer of `capacity` entries draining over a path with
+    /// the given latency and slot spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, path_latency: Duration, gap: Duration) -> Self {
+        assert!(capacity > 0, "persist buffer needs capacity");
+        EpochPersistBuffer {
+            capacity,
+            path_latency,
+            gap,
+            serial_slot: gap,
+            pending: VecDeque::with_capacity(capacity),
+            last_delivery: Cycle::ZERO,
+            closed_epochs_durable: Cycle::ZERO,
+            epoch_durable: Cycle::ZERO,
+            epochs: 1,
+            inserted: 0,
+            full_stalls: 0,
+        }
+    }
+
+    /// Overrides the global-serialization slot time (DPO).
+    pub fn with_serial_slot(mut self, slot: Duration) -> Self {
+        self.serial_slot = slot;
+        self
+    }
+
+    /// Inserts a store committed at `commit`. Pass `global_token` to
+    /// serialize drains across cores (DPO); `None` lets drains pipeline
+    /// (HOPS).
+    pub fn insert(
+        &mut self,
+        commit: Cycle,
+        line_key: u64,
+        pmc: &mut PmController,
+        global_token: Option<&mut Cycle>,
+    ) -> PbInsert {
+        // Free entries already durable by the commit time.
+        while self.pending.front().is_some_and(|&a| a <= commit) {
+            self.pending.pop_front();
+        }
+        let admitted = if self.pending.len() >= self.capacity {
+            self.full_stalls += 1;
+            let oldest = self.pending.pop_front().expect("full buffer non-empty");
+            oldest.max(commit)
+        } else {
+            commit
+        };
+        // An entry may not *leave* the buffer before all persists of
+        // closed epochs are durable (epoch ordering), nor — under DPO's
+        // global serialization — before the previous flush anywhere in the
+        // system is durable; it then still traverses the path.
+        let mut delivery = (admitted + self.path_latency)
+            .max(self.last_delivery + self.gap)
+            .max(self.closed_epochs_durable + self.path_latency);
+        if let Some(token) = &global_token {
+            // DPO allows a single flush to the PM controller at once: this
+            // flush may not arrive until the previous one (from any core)
+            // has, plus a transfer slot.
+            delivery = delivery.max(**token + self.serial_slot);
+        }
+        let svc = pmc.write_word(delivery, line_key);
+        if let Some(token) = global_token {
+            *token = delivery;
+        }
+        self.last_delivery = delivery;
+        self.epoch_durable = self.epoch_durable.max(svc.accepted);
+        self.pending.push_back(svc.accepted);
+        self.inserted += 1;
+        PbInsert {
+            admitted,
+            accepted: svc.accepted,
+        }
+    }
+
+    /// Closes the current epoch (`ofence`); following persists wait for
+    /// everything inserted so far. Does not stall the core.
+    pub fn ofence(&mut self) {
+        self.closed_epochs_durable = self.closed_epochs_durable.max(self.epoch_durable);
+        self.epochs += 1;
+    }
+
+    /// The time by which everything inserted so far is durable — what
+    /// `dfence` stalls on. Equals `now` when already drained.
+    pub fn drained_at(&self, now: Cycle) -> Cycle {
+        self.closed_epochs_durable.max(self.epoch_durable).max(now)
+    }
+
+    /// Entries inserted over the buffer's lifetime.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Number of inserts that stalled on a full buffer.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Epochs opened.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_engine::SimConfig;
+
+    fn pmc() -> PmController {
+        PmController::new(&SimConfig::asplos21(8).pm)
+    }
+
+    fn buffer() -> EpochPersistBuffer {
+        EpochPersistBuffer::new(4, Duration::from_ns(20), Duration::from_ns(2))
+    }
+
+    #[test]
+    fn within_epoch_persists_pipeline() {
+        let mut pmc = pmc();
+        let mut pb = buffer();
+        let a = pb.insert(Cycle::ZERO, 0, &mut pmc, None);
+        let b = pb.insert(Cycle::ZERO, 0, &mut pmc, None);
+        assert_eq!(a.accepted.as_ns(), 20);
+        assert_eq!(b.accepted.as_ns(), 22, "only FIFO spacing apart");
+    }
+
+    #[test]
+    fn epoch_boundary_orders_drains() {
+        let mut pmc = pmc();
+        let mut pb = buffer();
+        let a = pb.insert(Cycle::ZERO, 0, &mut pmc, None);
+        pb.ofence();
+        let b = pb.insert(Cycle::ZERO, 0, &mut pmc, None);
+        assert!(
+            b.accepted >= a.accepted + Duration::from_ns(20),
+            "next epoch waits for previous durability, then traverses the path"
+        );
+        assert_eq!(pb.epochs(), 2);
+    }
+
+    #[test]
+    fn full_buffer_stalls_the_core() {
+        let mut pmc = pmc();
+        let mut pb = EpochPersistBuffer::new(2, Duration::from_ns(20), Duration::from_ns(2));
+        pb.insert(Cycle::ZERO, 0, &mut pmc, None);
+        pb.insert(Cycle::ZERO, 0, &mut pmc, None);
+        let third = pb.insert(Cycle::ZERO, 0, &mut pmc, None);
+        assert!(third.admitted > Cycle::ZERO, "insert waits for a slot");
+        assert_eq!(pb.full_stalls(), 1);
+    }
+
+    #[test]
+    fn buffer_frees_after_drain() {
+        let mut pmc = pmc();
+        let mut pb = EpochPersistBuffer::new(2, Duration::from_ns(20), Duration::from_ns(2));
+        pb.insert(Cycle::ZERO, 0, &mut pmc, None);
+        pb.insert(Cycle::ZERO, 0, &mut pmc, None);
+        let later = Cycle::from_ns(10_000);
+        let ins = pb.insert(later, 0, &mut pmc, None);
+        assert_eq!(ins.admitted, later, "drained buffer admits immediately");
+    }
+
+    #[test]
+    fn dfence_semantics() {
+        let mut pmc = pmc();
+        let mut pb = buffer();
+        assert_eq!(pb.drained_at(Cycle::from_ns(7)), Cycle::from_ns(7), "idle");
+        let ins = pb.insert(Cycle::ZERO, 0, &mut pmc, None);
+        assert_eq!(pb.drained_at(Cycle::ZERO), ins.accepted);
+        pb.ofence();
+        assert_eq!(
+            pb.drained_at(Cycle::ZERO),
+            ins.accepted,
+            "ofence keeps the obligation"
+        );
+    }
+
+    #[test]
+    fn global_token_serializes_across_cores() {
+        let mut pmc = pmc();
+        let mut pb0 = buffer();
+        let mut pb1 = buffer();
+        let mut token = Cycle::ZERO;
+        let a = pb0.insert(Cycle::ZERO, 0, &mut pmc, Some(&mut token));
+        let b = pb1.insert(Cycle::ZERO, 0, &mut pmc, Some(&mut token));
+        assert!(
+            b.accepted >= a.accepted + Duration::from_ns(2),
+            "DPO: one flush to the controller at a time, spaced by a slot"
+        );
+        assert_eq!(token, b.accepted, "token tracks the latest arrival");
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut pmc = pmc();
+        let mut pb = buffer();
+        for i in 0..5 {
+            pb.insert(Cycle::from_ns(i * 100), 0, &mut pmc, None);
+        }
+        assert_eq!(pb.inserted(), 5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Results of one simulation run.
+
+use pmemspec_engine::clock::Cycle;
+use pmemspec_engine::stats::Stats;
+use pmemspec_isa::DesignKind;
+
+/// Everything measured during a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The design that executed.
+    pub design: DesignKind,
+    /// Simulated wall time (latest core completion).
+    pub total_time: Cycle,
+    /// FASEs that committed (including successful re-executions).
+    pub fases_committed: u64,
+    /// FASE executions aborted by misspeculation recovery.
+    pub fases_aborted: u64,
+    /// Load misspeculations detected by the speculation buffer.
+    pub load_misspec_detected: u64,
+    /// Store misspeculations detected by the speculation buffer.
+    pub store_misspec_detected: u64,
+    /// Ground truth: fetches that actually returned stale PM data.
+    pub stale_reads_ground_truth: u64,
+    /// Ground truth: inter-thread persist-order inversions that actually
+    /// reached the PM device.
+    pub store_inversions_ground_truth: u64,
+    /// Ground truth: per-core persists applied against dispatch order —
+    /// strict persistency violated. Always zero with one PM controller or
+    /// an order-preserving network; the §7 hazard otherwise.
+    pub persist_order_violations: u64,
+    /// Times the speculation buffer overflowed (pausing all cores).
+    pub spec_buffer_overflows: u64,
+    /// Reads serviced by the PM device.
+    pub pm_reads: u64,
+    /// Writes serviced by the PM device.
+    pub pm_writes: u64,
+    /// All other counters and histograms.
+    pub stats: Stats,
+}
+
+impl RunReport {
+    /// Committed FASEs per simulated second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run had zero duration.
+    pub fn throughput(&self) -> f64 {
+        let ns = self.total_time.as_ns();
+        assert!(ns > 0, "zero-duration run has no throughput");
+        self.fases_committed as f64 / (ns as f64 * 1e-9)
+    }
+
+    /// This run's throughput relative to a baseline run.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        self.throughput() / baseline.throughput()
+    }
+
+    /// True when the run saw no misspeculation of either kind.
+    pub fn misspeculation_free(&self) -> bool {
+        self.load_misspec_detected == 0 && self.store_misspec_detected == 0
+    }
+}
+
+impl RunReport {
+    /// Renders the report (counters included) as a JSON object, for
+    /// piping experiment results into other tooling without a serde
+    /// dependency.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            r#"{{"design":"{}","total_ns":{},"fases_committed":{},"fases_aborted":{},"throughput":{:.2},"load_misspec":{},"store_misspec":{},"stale_reads":{},"store_inversions":{},"persist_order_violations":{},"spec_buffer_overflows":{},"pm_reads":{},"pm_writes":{},"counters":{{"#,
+            self.design,
+            self.total_time.as_ns(),
+            self.fases_committed,
+            self.fases_aborted,
+            if self.total_time.as_ns() > 0 {
+                self.throughput()
+            } else {
+                0.0
+            },
+            self.load_misspec_detected,
+            self.store_misspec_detected,
+            self.stale_reads_ground_truth,
+            self.store_inversions_ground_truth,
+            self.persist_order_violations,
+            self.spec_buffer_overflows,
+            self.pm_reads,
+            self.pm_writes,
+        );
+        for (i, (k, v)) in self.stats.counters().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, r#""{k}":{v}"#);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "design          = {}", self.design)?;
+        writeln!(f, "total time      = {} ns", self.total_time.as_ns())?;
+        writeln!(f, "fases committed = {}", self.fases_committed)?;
+        writeln!(f, "fases aborted   = {}", self.fases_aborted)?;
+        writeln!(
+            f,
+            "misspec (ld/st) = {}/{}",
+            self.load_misspec_detected, self.store_misspec_detected
+        )?;
+        writeln!(f, "pm reads/writes = {}/{}", self.pm_reads, self.pm_writes)?;
+        write!(f, "throughput      = {:.0} FASEs/s", self.throughput())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(committed: u64, ns: u64) -> RunReport {
+        RunReport {
+            design: DesignKind::PmemSpec,
+            total_time: Cycle::from_ns(ns),
+            fases_committed: committed,
+            fases_aborted: 0,
+            load_misspec_detected: 0,
+            store_misspec_detected: 0,
+            stale_reads_ground_truth: 0,
+            store_inversions_ground_truth: 0,
+            persist_order_violations: 0,
+            spec_buffer_overflows: 0,
+            pm_reads: 0,
+            pm_writes: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = report(1000, 1_000_000); // 1000 FASEs in 1 ms
+        assert!((r.throughput() - 1_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        let fast = report(2000, 1_000_000);
+        let slow = report(1000, 1_000_000);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misspeculation_free_flag() {
+        let mut r = report(1, 10);
+        assert!(r.misspeculation_free());
+        r.load_misspec_detected = 1;
+        assert!(!r.misspeculation_free());
+    }
+
+    #[test]
+    fn display_mentions_design() {
+        assert!(report(1, 10).to_string().contains("PMEM-Spec"));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut r = report(5, 100);
+        r.stats.add("x.y", 3);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains(r#""design":"PMEM-Spec""#));
+        assert!(json.contains(r#""fases_committed":5"#));
+        assert!(json.contains(r#""x.y":3"#));
+        // Balanced braces.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-duration")]
+    fn zero_duration_panics() {
+        let _ = report(1, 0).throughput();
+    }
+}

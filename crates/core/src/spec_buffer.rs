@@ -1,0 +1,564 @@
+//! The speculation buffer and misspeculation-detection automata (§5, Figure
+//! 5/8, Tables 1–2).
+//!
+//! The buffer lives in the PM controller and observes three request streams:
+//! `WriteBack` (address-only LLC dirty-eviction notifications from the
+//! regular path), `Read` (PM fetches from the regular path, including
+//! write-allocate store misses), and `Persist` (stores arriving over the
+//! persist path, optionally tagged with a speculation ID). A timer input,
+//! `Evict`, expires entries after the *speculation window* (`cores × idle
+//! persist-path latency`, §8.1).
+//!
+//! **Load misspeculation** (the stale read problem, §5.1) is flagged by the
+//! `WriteBack → Read → Persist` pattern within the window: the fetch
+//! returned data that a still-in-flight persist was about to overwrite.
+//!
+//! **Store misspeculation** (§5.2) is flagged when a tagged persist carries
+//! a *lower* speculation ID than one previously seen for the same line
+//! within the window: the inter-thread persist order inverted the
+//! happens-before order of the critical sections that produced the stores.
+//!
+//! The paper's rejected first design — monitoring *fetched* blocks rather
+//! than evicted ones (§5.1.3, Figure 4) — is also implemented as
+//! [`DetectionMode::FetchBased`] for the ablation experiment; it flags a
+//! false misspeculation for every store miss (the write-allocate fetch is
+//! overwritten by that store's own persist).
+
+use pmemspec_engine::clock::{Cycle, Duration};
+use pmemspec_isa::addr::LineAddr;
+
+/// Which blocks the detector monitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionMode {
+    /// Monitor recently *evicted* blocks (the paper's final design).
+    EvictionBased,
+    /// Monitor recently *fetched* blocks (the strawman of §5.1.3; kept for
+    /// the false-misspeculation ablation).
+    FetchBased,
+}
+
+/// Per-entry load-detection state (Table 1). `Initial` is represented by
+/// the absence of an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadState {
+    /// An LLC writeback was observed; the block is being monitored.
+    Evict,
+    /// The monitored block was fetched by the regular path.
+    Speculated,
+}
+
+/// A detected ordering violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detection {
+    /// A fetch returned stale data (WriteBack → Read → Persist).
+    LoadMisspec {
+        /// The affected line.
+        line: LineAddr,
+        /// PMC arrival time of the persist that exposed it.
+        at: Cycle,
+    },
+    /// Tagged persists to one line arrived against happens-before order.
+    StoreMisspec {
+        /// The affected line.
+        line: LineAddr,
+        /// PMC arrival time of the out-of-order persist.
+        at: Cycle,
+        /// The (higher) speculation ID seen earlier.
+        prev_id: u64,
+        /// The (lower) ID that arrived late.
+        new_id: u64,
+    },
+}
+
+/// A required global pause: the buffer overflowed, and every core must
+/// wait until `until` for entries to expire (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverflowStall {
+    /// Cores resume at this time.
+    pub until: Cycle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: LineAddr,
+    load_state: Option<LoadState>,
+    spec_id: Option<u64>,
+    inserted: Cycle,
+}
+
+/// The speculation buffer (Figure 8): `Address`, `State`, `Spec-ID`, and
+/// `Inserted` fields per entry; four entries by default.
+#[derive(Debug, Clone)]
+pub struct SpecBuffer {
+    entries: Vec<Entry>,
+    capacity: usize,
+    window: Duration,
+    mode: DetectionMode,
+    allocations: u64,
+    expirations: u64,
+    overflows: u64,
+    load_detections: u64,
+    store_detections: u64,
+    store_tracking_dropped: u64,
+}
+
+impl SpecBuffer {
+    /// Creates a buffer with `capacity` entries and the given speculation
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or the window is zero.
+    pub fn new(capacity: usize, window: Duration, mode: DetectionMode) -> Self {
+        assert!(capacity > 0, "speculation buffer needs at least one entry");
+        assert!(!window.is_zero(), "speculation window must be positive");
+        SpecBuffer {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            window,
+            mode,
+            allocations: 0,
+            expirations: 0,
+            overflows: 0,
+            load_detections: 0,
+            store_detections: 0,
+            store_tracking_dropped: 0,
+        }
+    }
+
+    /// Removes entries whose window expired by `now` (the `Evict` input).
+    fn expire(&mut self, now: Cycle) {
+        let window = self.window;
+        let before = self.entries.len();
+        self.entries.retain(|e| e.inserted + window > now);
+        self.expirations += (before - self.entries.len()) as u64;
+    }
+
+    fn find(&mut self, line: LineAddr) -> Option<&mut Entry> {
+        self.entries.iter_mut().find(|e| e.line == line)
+    }
+
+    /// Allocates an entry, pausing all cores when the buffer is full.
+    fn allocate(&mut self, line: LineAddr, now: Cycle) -> (usize, Option<OverflowStall>) {
+        self.expire(now);
+        let mut stall = None;
+        if self.entries.len() >= self.capacity {
+            // All cores pause until the oldest entry expires (§5.3).
+            let oldest = self
+                .entries
+                .iter()
+                .map(|e| e.inserted)
+                .min()
+                .expect("full buffer is non-empty");
+            let until = oldest + self.window;
+            self.overflows += 1;
+            stall = Some(OverflowStall { until });
+            self.expire(until);
+            debug_assert!(self.entries.len() < self.capacity);
+        }
+        self.allocations += 1;
+        let inserted = stall.map_or(now, |s| s.until);
+        self.entries.push(Entry {
+            line,
+            load_state: None,
+            spec_id: None,
+            inserted,
+        });
+        (self.entries.len() - 1, stall)
+    }
+
+    /// Handles an LLC dirty-writeback notification (the `WriteBack` input).
+    ///
+    /// Eviction-based detection starts monitoring the block here;
+    /// fetch-based detection ignores writebacks.
+    pub fn on_writeback(&mut self, line: LineAddr, now: Cycle) -> Option<OverflowStall> {
+        if self.mode == DetectionMode::FetchBased {
+            return None;
+        }
+        self.expire(now);
+        if let Some(e) = self.find(line) {
+            // A fresh writeback restarts monitoring.
+            e.load_state = Some(LoadState::Evict);
+            e.inserted = now;
+            return None;
+        }
+        let (idx, stall) = self.allocate(line, now);
+        self.entries[idx].load_state = Some(LoadState::Evict);
+        stall
+    }
+
+    /// Handles a PM fetch arriving at the controller (the `Read` input).
+    pub fn on_read(&mut self, line: LineAddr, now: Cycle) -> Option<OverflowStall> {
+        self.expire(now);
+        match self.mode {
+            DetectionMode::EvictionBased => {
+                if let Some(e) = self.find(line) {
+                    if e.load_state == Some(LoadState::Evict)
+                        || e.load_state == Some(LoadState::Speculated)
+                    {
+                        e.load_state = Some(LoadState::Speculated);
+                        // The window (re)starts when the load arrives
+                        // (§5.1.2).
+                        e.inserted = now;
+                    }
+                }
+                None
+            }
+            DetectionMode::FetchBased => {
+                // The strawman monitors every fetch.
+                if let Some(e) = self.find(line) {
+                    e.load_state = Some(LoadState::Speculated);
+                    e.inserted = now;
+                    return None;
+                }
+                let (idx, stall) = self.allocate(line, now);
+                self.entries[idx].load_state = Some(LoadState::Speculated);
+                stall
+            }
+        }
+    }
+
+    /// Handles a persist arriving over the persist path (the `Persist`
+    /// input), optionally tagged with a speculation ID.
+    ///
+    /// Returns any detections plus an overflow stall if a store-tracking
+    /// entry had to be allocated.
+    pub fn on_persist(
+        &mut self,
+        line: LineAddr,
+        spec_id: Option<u64>,
+        now: Cycle,
+    ) -> (Vec<Detection>, Option<OverflowStall>) {
+        self.expire(now);
+        let mut detections = Vec::new();
+        let stall = None;
+
+        let mut load_hit = false;
+        if let Some(e) = self.find(line) {
+            match e.load_state {
+                Some(LoadState::Speculated) => {
+                    // WriteBack → Read → Persist: the earlier fetch was
+                    // stale.
+                    load_hit = true;
+                    e.load_state = None;
+                }
+                Some(LoadState::Evict) => {
+                    // The persist beat any fetch: PM now holds fresh data
+                    // and the hazard is gone (Evict → Initial on Persist).
+                    e.load_state = None;
+                }
+                None => {}
+            }
+        }
+        if load_hit {
+            self.load_detections += 1;
+            detections.push(Detection::LoadMisspec { line, at: now });
+        }
+
+        if let Some(id) = spec_id {
+            let mut inverted_prev = None;
+            match self.find(line) {
+                Some(e) => {
+                    if let Some(prev) = e.spec_id {
+                        if prev > id {
+                            inverted_prev = Some(prev);
+                        }
+                    }
+                    e.spec_id = Some(e.spec_id.map_or(id, |p| p.max(id)));
+                    e.inserted = now;
+                }
+                None => {
+                    // Store-ID tracking is best-effort: §8.3.2 sizes the
+                    // buffer by *eviction*-created entries, so a tagged
+                    // persist never pauses the machine — if no entry is
+                    // free the ID simply goes untracked for this window
+                    // (store misspeculation is already vanishingly rare).
+                    if self.entries.len() < self.capacity {
+                        self.allocations += 1;
+                        self.entries.push(Entry {
+                            line,
+                            load_state: None,
+                            spec_id: Some(id),
+                            inserted: now,
+                        });
+                    } else {
+                        self.store_tracking_dropped += 1;
+                    }
+                }
+            }
+            if let Some(prev) = inverted_prev {
+                self.store_detections += 1;
+                detections.push(Detection::StoreMisspec {
+                    line,
+                    at: now,
+                    prev_id: prev,
+                    new_id: id,
+                });
+            }
+        } else if let Some(e) = self.find(line) {
+            // An untagged persist leaves store tracking untouched but may
+            // free a fully idle entry.
+            if e.load_state.is_none() && e.spec_id.is_none() {
+                let line = e.line;
+                self.entries.retain(|x| x.line != line);
+            }
+        }
+
+        (detections, stall)
+    }
+
+    /// Current occupancy (after lazily expiring at `now`).
+    pub fn occupancy(&mut self, now: Cycle) -> usize {
+        self.expire(now);
+        self.entries.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured speculation window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Total entry allocations.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Entries that expired unexercised.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+
+    /// Times the buffer overflowed (pausing all cores).
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Load misspeculations flagged.
+    pub fn load_detections(&self) -> u64 {
+        self.load_detections
+    }
+
+    /// Store misspeculations flagged.
+    pub fn store_detections(&self) -> u64 {
+        self.store_detections
+    }
+
+    /// Tagged persists whose ID could not be tracked (buffer full).
+    pub fn store_tracking_dropped(&self) -> u64 {
+        self.store_tracking_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_isa::Addr;
+
+    const WINDOW: Duration = Duration::from_ns(160);
+
+    fn line(i: u64) -> LineAddr {
+        Addr::pm(i * 64).line()
+    }
+
+    fn buf() -> SpecBuffer {
+        SpecBuffer::new(4, WINDOW, DetectionMode::EvictionBased)
+    }
+
+    fn at(ns: u64) -> Cycle {
+        Cycle::from_ns(ns)
+    }
+
+    #[test]
+    fn writeback_read_persist_detects_stale_load() {
+        let mut b = buf();
+        assert!(b.on_writeback(line(0), at(0)).is_none());
+        assert!(b.on_read(line(0), at(50)).is_none());
+        let (d, _) = b.on_persist(line(0), None, at(100));
+        assert_eq!(
+            d,
+            vec![Detection::LoadMisspec {
+                line: line(0),
+                at: at(100)
+            }]
+        );
+        assert_eq!(b.load_detections(), 1);
+    }
+
+    #[test]
+    fn persist_before_read_clears_the_hazard() {
+        let mut b = buf();
+        b.on_writeback(line(0), at(0));
+        let (d, _) = b.on_persist(line(0), None, at(30));
+        assert!(d.is_empty(), "Evict → Initial on Persist");
+        b.on_read(line(0), at(50));
+        let (d, _) = b.on_persist(line(0), None, at(60));
+        assert!(d.is_empty(), "no WriteBack since the read: benign");
+    }
+
+    #[test]
+    fn read_without_writeback_is_never_monitored() {
+        let mut b = buf();
+        b.on_read(line(0), at(0));
+        let (d, _) = b.on_persist(line(0), None, at(10));
+        assert!(
+            d.is_empty(),
+            "eviction-based detection ignores plain fetches"
+        );
+        assert_eq!(b.allocations(), 0);
+    }
+
+    #[test]
+    fn window_expiry_ends_monitoring() {
+        let mut b = buf();
+        b.on_writeback(line(0), at(0));
+        // The read arrives after the writeback's window lapsed.
+        b.on_read(line(0), at(200));
+        let (d, _) = b.on_persist(line(0), None, at(210));
+        assert!(d.is_empty(), "entry expired before the read");
+        assert_eq!(b.expirations(), 1);
+    }
+
+    #[test]
+    fn read_restarts_the_window() {
+        let mut b = buf();
+        b.on_writeback(line(0), at(0));
+        b.on_read(line(0), at(150)); // window restarts here (§5.1.2)
+        let (d, _) = b.on_persist(line(0), None, at(300));
+        assert_eq!(
+            d.len(),
+            1,
+            "persist at 300 < 150+160 still inside the read window"
+        );
+    }
+
+    #[test]
+    fn persist_after_window_is_benign() {
+        let mut b = buf();
+        b.on_writeback(line(0), at(0));
+        b.on_read(line(0), at(10));
+        let (d, _) = b.on_persist(line(0), None, at(10 + 161));
+        assert!(
+            d.is_empty(),
+            "speculation considered correct after the window"
+        );
+    }
+
+    #[test]
+    fn fetch_based_flags_write_allocate_fetches() {
+        // Figure 4: a store miss fetches the line, then its own persist
+        // arrives — the strawman flags a (false) misspeculation.
+        let mut b = SpecBuffer::new(4, WINDOW, DetectionMode::FetchBased);
+        b.on_read(line(0), at(0)); // the write-allocate fetch
+        let (d, _) = b.on_persist(line(0), None, at(25));
+        assert_eq!(d.len(), 1, "fetch-based detection false-positives");
+    }
+
+    #[test]
+    fn eviction_based_ignores_write_allocate_fetches() {
+        // Figure 6b: no writeback observed → no monitoring → no false
+        // positive.
+        let mut b = buf();
+        b.on_read(line(0), at(0));
+        let (d, _) = b.on_persist(line(0), None, at(25));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn store_misspec_on_inverted_spec_ids() {
+        let mut b = buf();
+        let (d, _) = b.on_persist(line(3), Some(7), at(0));
+        assert!(d.is_empty());
+        let (d, _) = b.on_persist(line(3), Some(5), at(20));
+        assert_eq!(
+            d,
+            vec![Detection::StoreMisspec {
+                line: line(3),
+                at: at(20),
+                prev_id: 7,
+                new_id: 5
+            }]
+        );
+        assert_eq!(b.store_detections(), 1);
+    }
+
+    #[test]
+    fn store_order_preserving_ids_are_benign() {
+        let mut b = buf();
+        b.on_persist(line(3), Some(1), at(0));
+        let (d, _) = b.on_persist(line(3), Some(2), at(10));
+        assert!(d.is_empty());
+        let (d, _) = b.on_persist(line(3), Some(2), at(15));
+        assert!(d.is_empty(), "equal IDs are the same critical section");
+    }
+
+    #[test]
+    fn store_tracking_expires_with_the_window() {
+        let mut b = buf();
+        b.on_persist(line(3), Some(9), at(0));
+        let (d, _) = b.on_persist(line(3), Some(2), at(200));
+        assert!(
+            d.is_empty(),
+            "out-of-window inversion is unobservable and benign"
+        );
+    }
+
+    #[test]
+    fn different_lines_do_not_interact() {
+        let mut b = buf();
+        b.on_writeback(line(0), at(0));
+        b.on_read(line(0), at(10));
+        let (d, _) = b.on_persist(line(1), None, at(20));
+        assert!(d.is_empty());
+        b.on_persist(line(2), Some(9), at(20));
+        let (d, _) = b.on_persist(line(3), Some(1), at(30));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn overflow_pauses_until_oldest_expires() {
+        let mut b = SpecBuffer::new(2, WINDOW, DetectionMode::EvictionBased);
+        assert!(b.on_writeback(line(0), at(0)).is_none());
+        assert!(b.on_writeback(line(1), at(10)).is_none());
+        let stall = b.on_writeback(line(2), at(20)).expect("buffer full");
+        assert_eq!(
+            stall.until,
+            at(160),
+            "oldest entry (t=0) expires at window end"
+        );
+        assert_eq!(b.overflows(), 1);
+        assert_eq!(
+            b.occupancy(at(161)),
+            2,
+            "line1 expired; line2 inserted at 160"
+        );
+    }
+
+    #[test]
+    fn occupancy_reflects_expiry() {
+        let mut b = buf();
+        b.on_writeback(line(0), at(0));
+        b.on_writeback(line(1), at(0));
+        assert_eq!(b.occupancy(at(1)), 2);
+        assert_eq!(b.occupancy(at(1000)), 0);
+    }
+
+    #[test]
+    fn untagged_persist_frees_idle_entry() {
+        let mut b = buf();
+        b.on_writeback(line(0), at(0));
+        b.on_persist(line(0), None, at(10)); // hazard cleared...
+        b.on_persist(line(0), None, at(12)); // ...and the idle entry freed
+        assert_eq!(b.occupancy(at(13)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = SpecBuffer::new(0, WINDOW, DetectionMode::EvictionBased);
+    }
+}

@@ -1,0 +1,228 @@
+//! StrandWeaver's strand buffer (Figure 1c; Gogte et al., ISCA 2020).
+//!
+//! Strand persistency generalizes epochs: `NewStrand` begins a strand
+//! whose persists carry **no ordering dependency on earlier strands**, so
+//! multiple strands drain to the PM controller concurrently.
+//! `persist-barrier` orders persists *within* the current strand (an
+//! intra-strand epoch boundary), and `JoinStrand` is the durability
+//! point: it waits for every strand issued so far.
+//!
+//! With the undo-logging lowering used here (each FASE = one strand,
+//! `LogOrder`/`DataOrder` = intra-strand barriers), StrandWeaver's win
+//! over HOPS is *cross-FASE* drain concurrency: FASE *n+1*'s persists do
+//! not wait for FASE *n*'s tail epochs, while HOPS chains every epoch
+//! sequentially.
+
+use std::collections::VecDeque;
+
+use pmemspec_engine::clock::{Cycle, Duration};
+use pmemspec_mem::PmController;
+
+use crate::persist_buffer::PbInsert;
+
+/// One core's strand buffer.
+///
+/// # Examples
+///
+/// ```
+/// use pmem_spec::strand_buffer::StrandBuffer;
+/// use pmemspec_engine::{SimConfig, Cycle};
+/// use pmemspec_engine::clock::Duration;
+/// use pmemspec_mem::PmController;
+///
+/// let cfg = SimConfig::asplos21(8);
+/// let mut pmc = PmController::new(&cfg.pm);
+/// let mut sb = StrandBuffer::new(64, Duration::from_ns(20), Duration::from_cycles(1));
+/// sb.new_strand();
+/// let a = sb.insert(Cycle::ZERO, 0, &mut pmc);
+/// sb.strand_barrier();
+/// let b = sb.insert(Cycle::ZERO, 0, &mut pmc);
+/// assert!(b.accepted > a.accepted, "intra-strand barrier orders persists");
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrandBuffer {
+    capacity: usize,
+    path_latency: Duration,
+    gap: Duration,
+    /// Acceptance times of entries still occupying the (shared) buffer.
+    pending: VecDeque<Cycle>,
+    /// Injection port spacing is shared across strands.
+    last_delivery: Cycle,
+    /// Intra-strand ordering state (reset by `new_strand`).
+    strand_closed_durable: Cycle,
+    strand_epoch_durable: Cycle,
+    /// Durability of everything issued on any strand (`JoinStrand`).
+    all_durable: Cycle,
+    strands: u64,
+    inserted: u64,
+    full_stalls: u64,
+}
+
+impl StrandBuffer {
+    /// Creates a buffer of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, path_latency: Duration, gap: Duration) -> Self {
+        assert!(capacity > 0, "strand buffer needs capacity");
+        StrandBuffer {
+            capacity,
+            path_latency,
+            gap,
+            pending: VecDeque::with_capacity(capacity),
+            last_delivery: Cycle::ZERO,
+            strand_closed_durable: Cycle::ZERO,
+            strand_epoch_durable: Cycle::ZERO,
+            all_durable: Cycle::ZERO,
+            strands: 0,
+            inserted: 0,
+            full_stalls: 0,
+        }
+    }
+
+    /// Begins a new strand: following persists drop all ordering
+    /// dependencies on earlier strands (but still share buffer capacity
+    /// and injection bandwidth).
+    pub fn new_strand(&mut self) {
+        self.strand_closed_durable = Cycle::ZERO;
+        self.strand_epoch_durable = Cycle::ZERO;
+        self.strands += 1;
+    }
+
+    /// Intra-strand `persist-barrier`: persists after it wait for the
+    /// strand's earlier persists to be durable. No core stall.
+    pub fn strand_barrier(&mut self) {
+        self.strand_closed_durable = self.strand_closed_durable.max(self.strand_epoch_durable);
+    }
+
+    /// Inserts a store committed at `commit` into the current strand.
+    pub fn insert(&mut self, commit: Cycle, line_key: u64, pmc: &mut PmController) -> PbInsert {
+        while self.pending.front().is_some_and(|&a| a <= commit) {
+            self.pending.pop_front();
+        }
+        let admitted = if self.pending.len() >= self.capacity {
+            self.full_stalls += 1;
+            let oldest = self.pending.pop_front().expect("full buffer non-empty");
+            oldest.max(commit)
+        } else {
+            commit
+        };
+        let delivery = (admitted + self.path_latency)
+            .max(self.last_delivery + self.gap)
+            .max(self.strand_closed_durable + self.path_latency);
+        let svc = pmc.write_word(delivery, line_key);
+        self.last_delivery = delivery;
+        self.strand_epoch_durable = self.strand_epoch_durable.max(svc.accepted);
+        self.all_durable = self.all_durable.max(svc.accepted);
+        self.pending.push_back(svc.accepted);
+        self.inserted += 1;
+        PbInsert {
+            admitted,
+            accepted: svc.accepted,
+        }
+    }
+
+    /// The time by which every strand issued so far is durable — what
+    /// `JoinStrand` stalls on. Equals `now` when already drained.
+    pub fn joined_at(&self, now: Cycle) -> Cycle {
+        self.all_durable.max(now)
+    }
+
+    /// Strands opened.
+    pub fn strands(&self) -> u64 {
+        self.strands
+    }
+
+    /// Entries inserted over the buffer's lifetime.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Inserts that stalled on a full buffer.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_engine::SimConfig;
+
+    fn pmc() -> PmController {
+        PmController::new(&SimConfig::asplos21(8).pm)
+    }
+
+    fn buffer() -> StrandBuffer {
+        StrandBuffer::new(8, Duration::from_ns(20), Duration::from_ns(2))
+    }
+
+    #[test]
+    fn persists_within_one_epoch_pipeline() {
+        let mut pmc = pmc();
+        let mut sb = buffer();
+        sb.new_strand();
+        let a = sb.insert(Cycle::ZERO, 0, &mut pmc);
+        let b = sb.insert(Cycle::ZERO, 1, &mut pmc);
+        assert_eq!(a.accepted.as_ns(), 20);
+        assert_eq!(b.accepted.as_ns(), 22, "injection spacing only");
+    }
+
+    #[test]
+    fn strand_barrier_orders_within_the_strand() {
+        let mut pmc = pmc();
+        let mut sb = buffer();
+        sb.new_strand();
+        let a = sb.insert(Cycle::ZERO, 0, &mut pmc);
+        sb.strand_barrier();
+        let b = sb.insert(Cycle::ZERO, 1, &mut pmc);
+        assert!(
+            b.accepted >= a.accepted + Duration::from_ns(20),
+            "cross-epoch persist waits for durability plus a traversal"
+        );
+    }
+
+    #[test]
+    fn new_strand_severs_ordering() {
+        let mut pmc = pmc();
+        let mut sb = buffer();
+        sb.new_strand();
+        sb.insert(Cycle::ZERO, 0, &mut pmc);
+        sb.strand_barrier();
+        // Without a new strand, this would wait for the barrier.
+        sb.new_strand();
+        let b = sb.insert(Cycle::ZERO, 1, &mut pmc);
+        assert_eq!(b.accepted.as_ns(), 22, "new strand drains concurrently");
+        assert_eq!(sb.strands(), 2);
+    }
+
+    #[test]
+    fn join_covers_every_strand() {
+        let mut pmc = pmc();
+        let mut sb = buffer();
+        sb.new_strand();
+        let a = sb.insert(Cycle::ZERO, 0, &mut pmc);
+        sb.new_strand();
+        let b = sb.insert(Cycle::ZERO, 1, &mut pmc);
+        let join = sb.joined_at(Cycle::ZERO);
+        assert_eq!(join, a.accepted.max(b.accepted));
+        assert_eq!(sb.joined_at(join), join, "idle after the join point");
+    }
+
+    #[test]
+    fn capacity_is_shared_across_strands() {
+        let mut pmc = pmc();
+        let mut sb = StrandBuffer::new(2, Duration::from_ns(20), Duration::from_ns(2));
+        sb.new_strand();
+        sb.insert(Cycle::ZERO, 0, &mut pmc);
+        sb.new_strand();
+        sb.insert(Cycle::ZERO, 1, &mut pmc);
+        let third = sb.insert(Cycle::ZERO, 2, &mut pmc);
+        assert!(
+            third.admitted > Cycle::ZERO,
+            "buffer full stalls the insert"
+        );
+        assert_eq!(sb.full_stalls(), 1);
+    }
+}

@@ -1,0 +1,1666 @@
+//! The simulated machine: cores, hierarchy, PM controller, and the four
+//! persistency designs, executing lowered programs.
+//!
+//! # Execution model
+//!
+//! The system advances the core with the earliest local time, one
+//! instruction at a time, so all shared-state mutations (cache tags, PMC
+//! queues, lock grants, speculation-ID assignment) happen in global
+//! start-time order. Components that observe *future* timestamps (persist
+//! deliveries, fetch arrivals, writeback notifications) publish events into
+//! a time-ordered heap at the PM controller; the heap is drained up to the
+//! current time before every instruction, feeding the misspeculation
+//! automata and applying persists to the persistent image in arrival
+//! order — exactly the vantage point the paper's detection hardware has.
+//!
+//! # Per-design semantics (§8.1)
+//!
+//! * **IntelX86** — stores drain through the store queue into the caches;
+//!   `CLWB` occupies a store-queue entry until its line reaches the ADR
+//!   domain; `SFENCE` stalls until the store queue drains; dirty PM lines
+//!   evicted from the LLC write back to the PM device.
+//! * **DPO** — per-core persist buffers with *globally serialized* flushes;
+//!   `SFENCE` is absorbed (epoch boundary, no stall) but lock/unlock act
+//!   as persist barriers (DPO orders persists on every barrier the program
+//!   executes, §8.2.2); `CLWB` is absorbed; dirty LLC evictions drop.
+//! * **HOPS** — per-core persist buffers with pipelined drains; `ofence`
+//!   opens an epoch without stalling; `dfence` stalls until drained; every
+//!   PM fetch pays a bloom-filter lookup and is delayed on a (possibly
+//!   false-positive) hit; +1 bus cycle for the sticky-M bit; dirty LLC
+//!   evictions drop.
+//! * **PMEM-Spec** — stores go to the caches *and* the per-core persist
+//!   path simultaneously; no ordering instructions at all; `spec-barrier`
+//!   waits for the path to drain into the ADR domain; dirty LLC evictions
+//!   drop with an address-only `WriteBack` notification to the speculation
+//!   buffer; detected misspeculation is treated as a virtual power failure
+//!   and delegated to the failure-atomic runtime (§6).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+use pmemspec_engine::clock::{Cycle, Duration};
+use pmemspec_engine::config::{PmcNetworkOrder, SimConfig};
+use pmemspec_engine::stats::Stats;
+use pmemspec_isa::addr::{Addr, LineAddr};
+use pmemspec_isa::{DesignKind, LockId, Op, Program, ValueSrc};
+use pmemspec_mem::hierarchy::{AccessKind, CacheHierarchy, ServedFrom};
+use pmemspec_mem::pmc::controller_for;
+use pmemspec_mem::{Dram, MemoryImage, PersistPath, PmController};
+
+use crate::bloom::CountingBloom;
+use crate::persist_buffer::EpochPersistBuffer;
+use crate::report::RunReport;
+use crate::spec_buffer::{Detection, DetectionMode, SpecBuffer};
+use crate::strand_buffer::StrandBuffer;
+use crate::trace::TraceRecorder;
+
+/// DRAM offset where lock cache lines are allocated.
+const LOCK_REGION_BASE: u64 = 1 << 30;
+
+/// Cost of the bloom-filter lookup HOPS pays on every PM read (§8.2.2).
+const HOPS_BLOOM_LOOKUP: Duration = Duration::from_ns(2);
+
+/// Delay charged when the HOPS bloom filter reports a false positive and
+/// the read must be retried after the (non-existent) conflict "drains".
+const HOPS_FALSE_POSITIVE_PENALTY: Duration = Duration::from_ns(20);
+
+/// Capacity of HOPS'/DPO's per-core persist buffers.
+const PERSIST_BUFFER_ENTRIES: usize = 32;
+
+/// Capacity of StrandWeaver's per-core strand buffers (larger than the
+/// epoch buffers — StrandWeaver spends more hardware, §9).
+const STRAND_BUFFER_ENTRIES: usize = 64;
+
+/// DPO's single-flush-at-a-time quantum: the shared bus carries one flush
+/// to the PM controller per slot, system-wide (§8.2.2).
+const DPO_FLUSH_SLOT: Duration = Duration::from_ns(1);
+
+/// Slots in HOPS' PM-controller bloom filter.
+const HOPS_BLOOM_SLOTS: usize = 1024;
+
+/// Safety valve: a FASE aborted more than this many times in a row
+/// indicates a livelock in the recovery protocol.
+const MAX_ABORTS_PER_FASE: u32 = 64;
+
+/// After this many consecutive aborts of one FASE, the retry quiesces the
+/// persist path first (a scoped version of the paper's whole-restart
+/// fallback, §6.1.2), guaranteeing forward progress.
+const QUIESCE_AFTER_ABORTS: u32 = 3;
+
+/// Outstanding loads per core (MSHR count): loads issue without blocking
+/// the thread and are joined at dependent points (compute, locks, fences,
+/// FASE boundaries), approximating an out-of-order core's memory-level
+/// parallelism.
+const MAX_OUTSTANDING_LOADS: usize = 8;
+
+/// When misspeculation recovery runs (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Abort at the end of the interrupted FASE (§6.2.1) — the default.
+    #[default]
+    Lazy,
+    /// Abort at the next instruction boundary after the signal arrives
+    /// (§6.2.2).
+    Eager,
+}
+
+/// Errors constructing a [`System`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildSystemError {
+    /// The configuration failed validation.
+    Config(String),
+    /// The program failed validation.
+    Program(String),
+    /// Thread count does not match the configured core count.
+    ThreadMismatch {
+        /// Program threads.
+        threads: usize,
+        /// Configured cores.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for BuildSystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildSystemError::Config(m) => write!(f, "invalid configuration: {m}"),
+            BuildSystemError::Program(m) => write!(f, "invalid program: {m}"),
+            BuildSystemError::ThreadMismatch { threads, cores } => {
+                write!(
+                    f,
+                    "program has {threads} threads but the machine has {cores} cores"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildSystemError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreStatus {
+    Runnable,
+    Waiting(LockId),
+    Done,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    pc: usize,
+    time: Cycle,
+    status: CoreStatus,
+    /// Completion times of outstanding store-queue entries (stores and,
+    /// on IntelX86, CLWBs), FIFO.
+    sq: VecDeque<Cycle>,
+    /// Completion times of in-flight loads (MSHRs), FIFO.
+    loads: VecDeque<Cycle>,
+    in_fase: bool,
+    fase_start_pc: usize,
+    fase_start_time: Cycle,
+    /// Undo information for the current FASE: PM words and their
+    /// pre-images, in store order.
+    shadow: Vec<(Addr, u64)>,
+    misspec_flag: bool,
+    flag_time: Cycle,
+    spec_tag: Option<u64>,
+    held_locks: Vec<LockId>,
+    /// Commit time of the most recent store: the store queue drains in
+    /// FIFO order (TSO), so store commits are monotone per core.
+    last_store_commit: Cycle,
+    /// Dispatch time of the most recent persist-path entry (PMEM-Spec);
+    /// kept monotone so the FIFO path sees in-order traffic.
+    last_persist_dispatch: Cycle,
+    committed: u64,
+    aborted: u64,
+    aborts_this_fase: u32,
+    /// Set after repeated aborts: the FASE retries *non-speculatively*,
+    /// each PM store waiting for durability before the next instruction
+    /// (the HTM-style pessimistic fallback guaranteeing progress).
+    nonspec_retry: bool,
+    /// The most recent intra-FASE checkpoint (§6.3), if any: program
+    /// counter, shadow-log length, and held-lock count at the checkpoint.
+    checkpoint: Option<(usize, usize, usize)>,
+}
+
+impl CoreState {
+    fn new() -> Self {
+        CoreState {
+            pc: 0,
+            time: Cycle::ZERO,
+            status: CoreStatus::Runnable,
+            sq: VecDeque::new(),
+            loads: VecDeque::new(),
+            in_fase: false,
+            fase_start_pc: 0,
+            fase_start_time: Cycle::ZERO,
+            shadow: Vec::new(),
+            misspec_flag: false,
+            flag_time: Cycle::ZERO,
+            spec_tag: None,
+            held_locks: Vec::new(),
+            last_store_commit: Cycle::ZERO,
+            last_persist_dispatch: Cycle::ZERO,
+            committed: 0,
+            aborted: 0,
+            aborts_this_fase: 0,
+            nonspec_retry: false,
+            checkpoint: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LockState {
+    line: LineAddr,
+    holder: Option<usize>,
+    /// Set while a woken waiter holds the grant but has not yet finished
+    /// re-executing its `Lock` instruction.
+    granted: bool,
+    /// When the most recent release became visible. An uncontended
+    /// acquire that is *processed* after the releasing instruction but
+    /// *timestamped* earlier must still wait for this.
+    free_at: Cycle,
+    waiters: VecDeque<usize>,
+}
+
+/// What the PM controller observes, time-ordered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PmcEventKind {
+    /// Address-only LLC dirty-eviction notification (PMEM-Spec).
+    WriteBack { line: LineAddr },
+    /// A PM fetch arriving from the regular path.
+    Read { line: LineAddr },
+    /// One word arriving over a persist path or persist buffer.
+    PersistWord {
+        addr: Addr,
+        value: u64,
+        spec_id: Option<u64>,
+        commit: Cycle,
+        /// Issuing core, for the strict-persistency ground-truth check.
+        core: usize,
+    },
+    /// A whole-line writeback arriving from the cache hierarchy
+    /// (IntelX86 CLWB or dirty eviction).
+    PersistLine { line: LineAddr },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PmcEvent {
+    time: Cycle,
+    seq: u64,
+    kind: PmcEventKind,
+}
+
+impl Ord for PmcEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for PmcEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+enum Machinery {
+    IntelX86,
+    Dpo {
+        buffers: Vec<EpochPersistBuffer>,
+        /// DPO's single-flush-at-a-time token (§8.2.2).
+        token: Cycle,
+    },
+    Hops {
+        buffers: Vec<EpochPersistBuffer>,
+        bloom: CountingBloom,
+        /// Ground truth behind the bloom filter: per line, (pending
+        /// persist count, latest acceptance time).
+        pending: HashMap<LineAddr, (u32, Cycle)>,
+    },
+    PmemSpec {
+        /// Per core, one FIFO route (order-preserving network) or one per
+        /// controller (unordered network, the §7 hazard).
+        paths: Vec<Vec<PersistPath>>,
+        /// One speculation buffer per PM controller.
+        spec: Vec<SpecBuffer>,
+        /// The global speculation-ID counter read by `spec-assign`.
+        counter: u64,
+    },
+    StrandWeaver {
+        buffers: Vec<StrandBuffer>,
+    },
+}
+
+/// The machine state surviving a simulated power failure.
+#[derive(Debug, Clone)]
+pub struct CrashOutcome {
+    /// The persistent image at the instant of failure: every PM word that
+    /// reached the ADR domain, by address.
+    pub persistent: HashMap<Addr, u64>,
+    /// Per thread: FASEs whose durability barrier completed before the
+    /// failure. Recovery must preserve all of these.
+    pub durable_fases: Vec<u64>,
+    /// Per thread: FASEs that had begun (durable or not).
+    pub started_fases: Vec<u64>,
+}
+
+/// The simulated machine executing one lowered [`Program`].
+#[derive(Debug)]
+pub struct System {
+    cfg: SimConfig,
+    program: Program,
+    hierarchy: CacheHierarchy,
+    /// One controller per line-interleaved PM channel (one by default).
+    pmcs: Vec<PmController>,
+    dram: Dram,
+    image: MemoryImage,
+    cores: Vec<CoreState>,
+    locks: HashMap<LockId, LockState>,
+    machinery: Machinery,
+    events: BinaryHeap<Reverse<PmcEvent>>,
+    event_seq: u64,
+    /// Global pause set by speculation-buffer overflow.
+    stall_until: Cycle,
+    policy: RecoveryPolicy,
+    stats: Stats,
+    // Ground truth.
+    stale_reads: u64,
+    inversions: u64,
+    /// Per-core persists applied against dispatch order (nonzero only
+    /// with an unordered multi-controller network).
+    persist_order_violations: u64,
+    last_core_persist_applied: Vec<Cycle>,
+    /// Per line: the core and arrival time of the last persist, for the
+    /// WHISPER-style inter-thread dependency census (§8.4 cites "almost
+    /// zero inter-thread dependencies in a 50 micro-second window").
+    last_line_persist: HashMap<LineAddr, (usize, Cycle)>,
+    last_persist_commit: HashMap<Addr, Cycle>,
+    pending_line_persists: HashMap<LineAddr, u32>,
+    /// Lines whose dirty data was dropped on LLC eviction while persists
+    /// were still in flight: fetching one of these from PM returns truly
+    /// stale data (the Figure 3 hazard). Write-allocate fetches of lines
+    /// still covered by the caches are benign (Figure 4/6b), so they are
+    /// never in this set.
+    dropped_pending: std::collections::HashSet<LineAddr>,
+    /// Optional execution trace (Chrome trace export).
+    tracer: Option<TraceRecorder>,
+}
+
+impl System {
+    /// Builds a machine for `cfg` running `program`, with the paper's
+    /// eviction-based detection and lazy recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSystemError`] when the configuration or program is
+    /// invalid, or their thread/core counts disagree.
+    pub fn new(cfg: SimConfig, program: Program) -> Result<Self, BuildSystemError> {
+        Self::with_options(
+            cfg,
+            program,
+            RecoveryPolicy::Lazy,
+            DetectionMode::EvictionBased,
+        )
+    }
+
+    /// Builds a machine with explicit recovery policy and detection mode
+    /// (the fetch-based mode exists for the Figure 4 ablation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`System::new`].
+    pub fn with_options(
+        cfg: SimConfig,
+        program: Program,
+        policy: RecoveryPolicy,
+        detection: DetectionMode,
+    ) -> Result<Self, BuildSystemError> {
+        cfg.validate().map_err(BuildSystemError::Config)?;
+        program
+            .validate()
+            .map_err(|e| BuildSystemError::Program(e.to_string()))?;
+        if program.thread_count() != cfg.cores {
+            return Err(BuildSystemError::ThreadMismatch {
+                threads: program.thread_count(),
+                cores: cfg.cores,
+            });
+        }
+        let mut hierarchy = CacheHierarchy::new(&cfg);
+        let machinery = match program.design() {
+            DesignKind::IntelX86 => Machinery::IntelX86,
+            DesignKind::Dpo => Machinery::Dpo {
+                buffers: (0..cfg.cores)
+                    .map(|_| {
+                        EpochPersistBuffer::new(
+                            PERSIST_BUFFER_ENTRIES,
+                            cfg.persist_path_latency,
+                            cfg.persist_path_gap,
+                        )
+                        .with_serial_slot(DPO_FLUSH_SLOT)
+                    })
+                    .collect(),
+                token: Cycle::ZERO,
+            },
+            DesignKind::Hops => {
+                // The sticky-M bit costs one extra cycle on every
+                // L1↔LLC transfer (§8.2.2).
+                hierarchy = hierarchy.with_bus_penalty(Duration::from_cycles(1));
+                Machinery::Hops {
+                    buffers: (0..cfg.cores)
+                        .map(|_| {
+                            EpochPersistBuffer::new(
+                                PERSIST_BUFFER_ENTRIES,
+                                cfg.persist_path_latency,
+                                cfg.persist_path_gap,
+                            )
+                        })
+                        .collect(),
+                    bloom: CountingBloom::new(HOPS_BLOOM_SLOTS),
+                    pending: HashMap::new(),
+                }
+            }
+            DesignKind::StrandWeaver => {
+                // StrandWeaver also modifies the caches (delayed exclusive
+                // responses for buffered lines): one extra bus cycle.
+                hierarchy = hierarchy.with_bus_penalty(Duration::from_cycles(1));
+                Machinery::StrandWeaver {
+                    buffers: (0..cfg.cores)
+                        .map(|_| {
+                            StrandBuffer::new(
+                                STRAND_BUFFER_ENTRIES,
+                                cfg.persist_path_latency,
+                                cfg.persist_path_gap,
+                            )
+                        })
+                        .collect(),
+                }
+            }
+            DesignKind::PmemSpec => {
+                let routes = match cfg.pmc_network {
+                    PmcNetworkOrder::Fifo => 1,
+                    PmcNetworkOrder::Unordered => cfg.pm.controllers,
+                };
+                Machinery::PmemSpec {
+                    paths: (0..cfg.cores)
+                        .map(|_| {
+                            (0..routes)
+                                .map(|_| {
+                                    PersistPath::new(cfg.persist_path_latency, cfg.persist_path_gap)
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                    spec: (0..cfg.pm.controllers)
+                        .map(|_| {
+                            SpecBuffer::new(
+                                cfg.pm.spec_buffer_entries,
+                                cfg.speculation_window(),
+                                detection,
+                            )
+                        })
+                        .collect(),
+                    counter: 0,
+                }
+            }
+        };
+        let cores = (0..cfg.cores).map(|_| CoreState::new()).collect();
+        Ok(System {
+            pmcs: (0..cfg.pm.controllers)
+                .map(|_| PmController::new(&cfg.pm))
+                .collect(),
+            dram: Dram::new(&cfg.dram),
+            hierarchy,
+            image: MemoryImage::new(),
+            cores,
+            locks: HashMap::new(),
+            machinery,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            stall_until: Cycle::ZERO,
+            policy,
+            stats: Stats::new(),
+            stale_reads: 0,
+            inversions: 0,
+            persist_order_violations: 0,
+            last_core_persist_applied: vec![Cycle::ZERO; cfg.cores],
+            last_line_persist: HashMap::new(),
+            last_persist_commit: HashMap::new(),
+            pending_line_persists: HashMap::new(),
+            dropped_pending: std::collections::HashSet::new(),
+            tracer: None,
+            cfg,
+            program,
+        })
+    }
+
+    fn push_event(&mut self, time: Cycle, kind: PmcEventKind) {
+        self.event_seq += 1;
+        self.events.push(Reverse(PmcEvent {
+            time,
+            seq: self.event_seq,
+            kind,
+        }));
+    }
+
+    /// The index of the runnable core with the earliest local time.
+    fn next_core(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.status == CoreStatus::Runnable && best.is_none_or(|b| c.time < self.cores[b].time)
+            {
+                best = Some(i);
+            }
+        }
+        if best.is_none() {
+            let waiting = self
+                .cores
+                .iter()
+                .filter(|c| matches!(c.status, CoreStatus::Waiting(_)))
+                .count();
+            assert_eq!(
+                waiting, 0,
+                "deadlock: {waiting} cores waiting, none runnable"
+            );
+        }
+        best
+    }
+
+    /// Raises misspeculation-recovery flags on every core currently inside
+    /// a FASE (§6.2: the hardware cannot tell which thread is at fault, so
+    /// all running FASEs roll back). The OS trap adds latency before the
+    /// signal is visible.
+    fn trigger_misspec(&mut self, detected_at: Cycle) {
+        let flag_time = detected_at + self.cfg.trap_latency;
+        for core in &mut self.cores {
+            if core.in_fase && core.status != CoreStatus::Done {
+                core.misspec_flag = true;
+                core.flag_time = core.flag_time.max(flag_time);
+            }
+        }
+    }
+
+    fn handle_detections(&mut self, detections: Vec<Detection>) {
+        for d in detections {
+            match d {
+                Detection::LoadMisspec { at, line } => {
+                    if std::env::var_os("PMEMSPEC_DEBUG_DETECT").is_some() {
+                        eprintln!("load-misspec: {line} at {at}");
+                    }
+                    self.stats.incr("misspec.load_detected");
+                    self.trigger_misspec(at);
+                }
+                Detection::StoreMisspec {
+                    at,
+                    line,
+                    prev_id,
+                    new_id,
+                } => {
+                    if std::env::var_os("PMEMSPEC_DEBUG_DETECT").is_some() {
+                        eprintln!(
+                            "store-misspec: line {line} at {at}: prev_id {prev_id} new_id {new_id}"
+                        );
+                    }
+                    self.stats.incr("misspec.store_detected");
+                    self.trigger_misspec(at);
+                }
+            }
+        }
+    }
+
+    fn note_overflow(&mut self, stall: Option<crate::spec_buffer::OverflowStall>) {
+        if let Some(s) = stall {
+            self.stall_until = self.stall_until.max(s.until);
+            self.stats.incr("spec_buffer.overflow");
+        }
+    }
+
+    /// Applies every PM-controller event with timestamp ≤ `now`, in
+    /// arrival order: persistence lands in the persistent image, and the
+    /// speculation buffer sees the request stream.
+    fn drain_events(&mut self, now: Cycle) {
+        while self.events.peek().is_some_and(|Reverse(e)| e.time <= now) {
+            let Reverse(event) = self.events.pop().expect("peeked");
+            match event.kind {
+                PmcEventKind::WriteBack { line } => {
+                    if std::env::var_os("PMEMSPEC_DEBUG_DETECT").is_some() {
+                        eprintln!("WB {line} at {}", event.time);
+                    }
+                    self.stats.incr("pmc.writeback_notices");
+                    if let Some(tr) = &mut self.tracer {
+                        tr.instant("WB", event.time);
+                    }
+                    let n = self.pmcs.len();
+                    if let Machinery::PmemSpec { spec, .. } = &mut self.machinery {
+                        let stall =
+                            spec[controller_for(line.raw(), n)].on_writeback(line, event.time);
+                        self.note_overflow(stall);
+                    }
+                }
+                PmcEventKind::Read { line } => {
+                    if std::env::var_os("PMEMSPEC_DEBUG_DETECT").is_some() {
+                        eprintln!("RD {line} at {}", event.time);
+                    }
+                    if matches!(self.machinery, Machinery::PmemSpec { .. }) {
+                        // Ground truth: the fetch returns truly stale data
+                        // only when the line's dirty copy was dropped on
+                        // eviction and its persist has not landed yet
+                        // (Figure 3).
+                        if self.dropped_pending.contains(&line)
+                            && line.words().any(|w| self.image.is_stale(w))
+                        {
+                            self.stale_reads += 1;
+                            self.stats.incr("ground_truth.stale_reads");
+                        }
+                    }
+                    // Inter-thread RAW census: a PM fetch of a line another
+                    // core persisted recently.
+                    if let Some(&(_, prev_at)) = self.last_line_persist.get(&line) {
+                        let gap = event.time.saturating_since(prev_at);
+                        if gap <= self.cfg.speculation_window() {
+                            self.stats.incr("whisper.raw_within_spec_window");
+                        }
+                        if gap <= Duration::from_ns(50_000) {
+                            self.stats.incr("whisper.raw_within_50us");
+                        }
+                    }
+                    let n = self.pmcs.len();
+                    if let Machinery::PmemSpec { spec, .. } = &mut self.machinery {
+                        let stall = spec[controller_for(line.raw(), n)].on_read(line, event.time);
+                        self.note_overflow(stall);
+                    }
+                }
+                PmcEventKind::PersistWord {
+                    addr,
+                    value,
+                    spec_id,
+                    commit,
+                    core,
+                } => {
+                    // Ground truth: strict persistency requires each
+                    // core's persists to apply in dispatch order, across
+                    // *all* lines and controllers (§7's hazard shows up
+                    // here with an unordered multi-controller network).
+                    if commit < self.last_core_persist_applied[core] {
+                        self.persist_order_violations += 1;
+                        self.stats.incr("ground_truth.persist_order_violations");
+                    } else {
+                        self.last_core_persist_applied[core] = commit;
+                    }
+                    // Ground truth: persists to one word must apply in
+                    // commit order, or an update goes missing.
+                    let line = addr.line();
+                    if let Some(&prev) = self.last_persist_commit.get(&addr) {
+                        if commit < prev {
+                            self.inversions += 1;
+                            self.stats.incr("ground_truth.persist_inversions");
+                        }
+                    }
+                    let entry = self.last_persist_commit.entry(addr).or_insert(commit);
+                    *entry = (*entry).max(commit);
+                    // Inter-thread WAW census: a persist to a line another
+                    // core persisted recently (§8.4 / WHISPER).
+                    if let Some(&(prev_core, prev_at)) = self.last_line_persist.get(&line) {
+                        if prev_core != core {
+                            let gap = event.time.saturating_since(prev_at);
+                            if gap <= self.cfg.speculation_window() {
+                                self.stats.incr("whisper.waw_within_spec_window");
+                            }
+                            if gap <= Duration::from_ns(50_000) {
+                                self.stats.incr("whisper.waw_within_50us");
+                            }
+                        }
+                    }
+                    self.last_line_persist.insert(line, (core, event.time));
+                    self.image.persist_word(addr, value);
+                    if let Some(n) = self.pending_line_persists.get_mut(&line) {
+                        *n = n.saturating_sub(1);
+                        if *n == 0 {
+                            self.pending_line_persists.remove(&line);
+                            // The device caught up: fetches are fresh again.
+                            self.dropped_pending.remove(&line);
+                        }
+                    }
+                    let n = self.pmcs.len();
+                    match &mut self.machinery {
+                        Machinery::PmemSpec { spec, .. } => {
+                            let (detections, stall) = spec[controller_for(line.raw(), n)]
+                                .on_persist(line, spec_id, event.time);
+                            self.note_overflow(stall);
+                            self.handle_detections(detections);
+                        }
+                        Machinery::Hops { bloom, pending, .. } => {
+                            if let Some((n, _)) = pending.get_mut(&line) {
+                                *n -= 1;
+                                bloom.remove(line.raw());
+                                if *n == 0 {
+                                    pending.remove(&line);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                PmcEventKind::PersistLine { line } => {
+                    self.image.persist_line_snapshot(line);
+                }
+            }
+        }
+    }
+
+    /// Routes a dirty-PM-line LLC eviction per the active design.
+    fn handle_evictions(&mut self, evictions: Vec<pmemspec_mem::EvictedLine>) {
+        for ev in evictions {
+            let arrival = ev.at + self.cfg.llc_to_pmc_latency;
+            match self.machinery {
+                Machinery::IntelX86 => {
+                    // Normal write-back memory: the eviction updates PM.
+                    let ci = controller_for(ev.line.raw(), self.pmcs.len());
+                    let svc = self.pmcs[ci].write(arrival);
+                    self.push_event(svc.accepted, PmcEventKind::PersistLine { line: ev.line });
+                    self.stats.incr("pmc.eviction_writebacks");
+                }
+                Machinery::Dpo { .. } | Machinery::Hops { .. } => {
+                    // Persist buffers own persistence; the eviction drops.
+                    self.stats.incr("pmc.evictions_dropped");
+                }
+                Machinery::StrandWeaver { .. } => {
+                    // StrandWeaver writes dirty blocks back before letting
+                    // them leave (Figure 1c), so PM never goes stale.
+                    let ci = controller_for(ev.line.raw(), self.pmcs.len());
+                    let svc = self.pmcs[ci].write(arrival);
+                    self.push_event(svc.accepted, PmcEventKind::PersistLine { line: ev.line });
+                    self.stats.incr("pmc.eviction_writebacks");
+                }
+                Machinery::PmemSpec { .. } => {
+                    // Dropped, but the controller is notified so the
+                    // speculation buffer can start monitoring (§5.1.4).
+                    self.push_event(arrival, PmcEventKind::WriteBack { line: ev.line });
+                    self.stats.incr("pmc.evictions_dropped");
+                    // Ground truth: dropped dirty data whose persist is
+                    // still in flight makes a PM fetch of this line stale.
+                    if self
+                        .pending_line_persists
+                        .get(&ev.line)
+                        .copied()
+                        .unwrap_or(0)
+                        > 0
+                    {
+                        self.dropped_pending.insert(ev.line);
+                    }
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, v: ValueSrc) -> u64 {
+        match v {
+            ValueSrc::Imm(x) => x,
+            ValueSrc::OldOf(a) => self.image.read_volatile(a),
+            ValueSrc::OldPlus { addr, delta } => self.image.read_volatile(addr).wrapping_add(delta),
+            ValueSrc::LogTag { tag, target } => {
+                ValueSrc::log_tag_value(tag, target, self.image.read_volatile(target))
+            }
+        }
+    }
+
+    fn record_access(&mut self, served: ServedFrom) {
+        let key = match served {
+            ServedFrom::L1 => "mem.l1",
+            ServedFrom::PeerL1 => "mem.peer_l1",
+            ServedFrom::Llc => "mem.llc",
+            ServedFrom::Dram => "mem.dram",
+            ServedFrom::Pm => "mem.pm",
+        };
+        self.stats.incr(key);
+    }
+
+    /// Admits one entry into the core's store queue at `now`, stalling on
+    /// a full queue. Returns the admission time.
+    fn sq_admit(&mut self, idx: usize, now: Cycle) -> Cycle {
+        let cap = self.cfg.store_queue;
+        let core = &mut self.cores[idx];
+        while core.sq.front().is_some_and(|&d| d <= now) {
+            core.sq.pop_front();
+        }
+        if core.sq.len() >= cap {
+            self.stats.incr("core.sq_full_stalls");
+            let core = &mut self.cores[idx];
+            let oldest = core.sq.pop_front().expect("full queue non-empty");
+            oldest.max(now)
+        } else {
+            now
+        }
+    }
+
+    /// Admits one load into the core's MSHRs at `now`, stalling when all
+    /// are busy. Returns the issue time.
+    fn load_admit(&mut self, idx: usize, now: Cycle) -> Cycle {
+        let core = &mut self.cores[idx];
+        while core.loads.front().is_some_and(|&d| d <= now) {
+            core.loads.pop_front();
+        }
+        if core.loads.len() >= MAX_OUTSTANDING_LOADS {
+            self.stats.incr("core.mshr_full_stalls");
+            let oldest = self.cores[idx].loads.pop_front().expect("full queue");
+            oldest.max(now)
+        } else {
+            now
+        }
+    }
+
+    /// Joins all outstanding loads: the core cannot pass `now` until every
+    /// in-flight load has returned.
+    fn join_loads(&mut self, idx: usize, now: Cycle) -> Cycle {
+        let core = &mut self.cores[idx];
+        let done = core.loads.iter().copied().max().unwrap_or(now).max(now);
+        core.loads.clear();
+        done
+    }
+
+    /// Aborts the FASE `idx` is executing: restores pre-images, persists
+    /// the restoration, releases held locks, and rewinds to the FASE
+    /// begin (§6.2).
+    fn abort_fase(&mut self, idx: usize) {
+        let t0 = {
+            let core = &self.cores[idx];
+            core.time.max(core.flag_time)
+        };
+        // §6.3: with an intra-FASE checkpoint, only the current region
+        // rolls back — pre-images recorded since the checkpoint — and
+        // execution resumes there instead of the FASE beginning.
+        let ck = self.cores[idx].checkpoint;
+        let shadow: Vec<(Addr, u64)> = match ck {
+            Some((_, shadow_len, _)) => self.cores[idx].shadow.split_off(shadow_len),
+            None => self.cores[idx].shadow.drain(..).collect(),
+        };
+        // Undo in reverse order; each restored word also persists (the
+        // recovery protocol writes PM). Restoration writes travel the same
+        // persistence mechanism as ordinary stores — under PMEM-Spec that
+        // is the core's FIFO persist path, so they cannot overtake or be
+        // overtaken by the aborted attempt's still-in-flight persists.
+        let mut t = t0 + self.cfg.trap_latency;
+        for &(addr, old) in shadow.iter().rev() {
+            self.image.store_volatile(addr, old);
+            t += self.cfg.pm.write_gap;
+            let line = addr.line();
+            let ci = controller_for(line.raw(), self.pmcs.len());
+            let delivery = match &mut self.machinery {
+                Machinery::PmemSpec { paths, .. } => {
+                    let route = ci % paths[idx].len();
+                    paths[idx][route].send(t)
+                }
+                _ => t + self.cfg.persist_path_latency,
+            };
+            let svc = self.pmcs[ci].write_word(delivery, line.raw());
+            if let Machinery::PmemSpec { paths, .. } = &mut self.machinery {
+                let route = ci % paths[idx].len();
+                paths[idx][route].note_backpressure(svc.accepted);
+            }
+            *self.pending_line_persists.entry(line).or_insert(0) += 1;
+            self.push_event(
+                svc.accepted,
+                PmcEventKind::PersistWord {
+                    addr,
+                    value: old,
+                    spec_id: None,
+                    commit: t,
+                    core: idx,
+                },
+            );
+        }
+        // Release anything held beyond the resume point (eager recovery
+        // can abort mid critical section).
+        let keep_locks = ck.map_or(0, |(_, _, locks)| locks);
+        let held: Vec<LockId> = self.cores[idx].held_locks.split_off(keep_locks);
+        for lock_id in held {
+            self.release_lock(lock_id, idx, t);
+        }
+        let core = &mut self.cores[idx];
+        core.spec_tag = None;
+        core.misspec_flag = false;
+        core.aborted += 1;
+        core.aborts_this_fase += 1;
+        assert!(
+            core.aborts_this_fase <= MAX_ABORTS_PER_FASE,
+            "FASE livelock: aborted {} times",
+            core.aborts_this_fase
+        );
+        core.sq.clear();
+        match ck {
+            Some((pc, _, _)) => {
+                core.pc = pc;
+                self.stats.incr("fase.partial_aborts");
+            }
+            None => core.pc = core.fase_start_pc,
+        }
+        core.time = t;
+        self.stats.incr("fase.aborted");
+        // A FASE that keeps misspeculating is retried non-speculatively:
+        // the runtime quiesces the persist path (plus one speculation
+        // window) before re-executing, so the retry observes a settled
+        // device — the §6.1.2 whole-restart fallback, scoped to one FASE.
+        if self.cores[idx].aborts_this_fase >= QUIESCE_AFTER_ABORTS {
+            if let Machinery::PmemSpec { paths, .. } = &self.machinery {
+                let drained = paths[idx]
+                    .iter()
+                    .map(|p| p.drained_at(t))
+                    .max()
+                    .unwrap_or(t)
+                    + self.cfg.speculation_window();
+                self.cores[idx].time = drained;
+                self.cores[idx].nonspec_retry = true;
+                self.stats.incr("fase.quiesced_retries");
+            }
+        }
+    }
+
+    fn release_lock(&mut self, lock_id: LockId, idx: usize, at: Cycle) {
+        let lock = self
+            .locks
+            .get_mut(&lock_id)
+            .expect("releasing unknown lock");
+        assert_eq!(lock.holder, Some(idx), "releasing a lock not held");
+        if let Some(next) = lock.waiters.pop_front() {
+            lock.holder = Some(next);
+            lock.granted = true;
+            let waiter = &mut self.cores[next];
+            waiter.status = CoreStatus::Runnable;
+            waiter.time = waiter.time.max(at);
+        } else {
+            lock.holder = None;
+            lock.granted = false;
+        }
+        lock.free_at = lock.free_at.max(at);
+    }
+
+    /// Executes the instruction at `idx`'s program counter.
+    fn step(&mut self, idx: usize) {
+        let thread = self.program.thread(idx);
+        let Some(&op) = thread.ops().get(self.cores[idx].pc) else {
+            self.cores[idx].status = CoreStatus::Done;
+            return;
+        };
+        let t = self.cores[idx].time;
+        let one = Duration::from_cycles(1);
+        match op {
+            Op::Compute { cycles } => {
+                // Compute consumes loaded values: join in-flight loads.
+                let start = self.join_loads(idx, t);
+                self.cores[idx].time = start + Duration::from_cycles(cycles as u64);
+                self.cores[idx].pc += 1;
+            }
+            Op::Load { addr } => {
+                let line = addr.line();
+                let issue = self.load_admit(idx, t);
+                let out = self.hierarchy.access(
+                    idx,
+                    AccessKind::Read,
+                    line,
+                    issue,
+                    &mut self.pmcs,
+                    &mut self.dram,
+                );
+                self.record_access(out.served_from);
+                self.handle_evictions(out.dirty_pm_evictions);
+                let mut completed = out.completed;
+                if let Some(fetch) = out.pm_fetch {
+                    self.stats.incr("pmc.fetches");
+                    match &mut self.machinery {
+                        Machinery::Hops { bloom, pending, .. } => {
+                            // Every PM read consults the filter (§8.2.2).
+                            completed += HOPS_BLOOM_LOOKUP;
+                            self.stats.incr("hops.bloom_lookups");
+                            if bloom.might_contain(line.raw()) {
+                                if let Some(&(_, accept)) = pending.get(&line) {
+                                    // Real conflict: wait for the pending
+                                    // persist to drain.
+                                    completed = completed.max(accept + HOPS_BLOOM_LOOKUP);
+                                    self.stats.incr("hops.bloom_conflicts");
+                                } else {
+                                    completed += HOPS_FALSE_POSITIVE_PENALTY;
+                                    self.stats.incr("hops.bloom_false_positives");
+                                }
+                            }
+                        }
+                        Machinery::PmemSpec { .. } => {
+                            self.push_event(fetch.arrival, PmcEventKind::Read { line });
+                        }
+                        _ => {}
+                    }
+                }
+                self.cores[idx].loads.push_back(completed);
+                self.cores[idx].time = issue + one;
+                self.cores[idx].pc += 1;
+            }
+            Op::Store { addr, value } => {
+                let value = self.resolve(value);
+                if self.cores[idx].in_fase && addr.is_pm() {
+                    let old = self.image.read_volatile(addr);
+                    self.cores[idx].shadow.push((addr, old));
+                }
+                self.image.store_volatile(addr, value);
+                let retire = self.sq_admit(idx, t);
+                let line = addr.line();
+                let out = self.hierarchy.access(
+                    idx,
+                    AccessKind::Write,
+                    line,
+                    retire,
+                    &mut self.pmcs,
+                    &mut self.dram,
+                );
+                self.record_access(out.served_from);
+                self.handle_evictions(out.dirty_pm_evictions);
+                if let Some(fetch) = out.pm_fetch {
+                    self.stats.incr("pmc.fetches");
+                    // The write-allocate fetch is visible to the
+                    // controller like any other read (Figure 4).
+                    if matches!(self.machinery, Machinery::PmemSpec { .. }) {
+                        self.push_event(fetch.arrival, PmcEventKind::Read { line });
+                    }
+                }
+                // The store queue drains in order (TSO): this store's
+                // commit cannot precede the previous one's.
+                let commit = out.completed.max(self.cores[idx].last_store_commit);
+                self.cores[idx].last_store_commit = commit;
+                self.cores[idx].sq.push_back(commit);
+                let mut next_time = retire + one;
+                if addr.is_pm() {
+                    let spec_tag = self.cores[idx].spec_tag;
+                    match &mut self.machinery {
+                        Machinery::IntelX86 => {}
+                        Machinery::Dpo { buffers, token } => {
+                            let ci = controller_for(line.raw(), self.pmcs.len());
+                            let ins = buffers[idx].insert(
+                                commit,
+                                line.raw(),
+                                &mut self.pmcs[ci],
+                                Some(token),
+                            );
+                            if ins.admitted > commit {
+                                // Full buffer back-pressures the core.
+                                next_time = next_time.max(ins.admitted);
+                                self.stats.incr("dpo.buffer_full_stalls");
+                            }
+                            *self.pending_line_persists.entry(line).or_insert(0) += 1;
+                            self.push_event(
+                                ins.accepted,
+                                PmcEventKind::PersistWord {
+                                    addr,
+                                    value,
+                                    spec_id: None,
+                                    commit,
+                                    core: idx,
+                                },
+                            );
+                        }
+                        Machinery::Hops {
+                            buffers,
+                            bloom,
+                            pending,
+                        } => {
+                            let ci = controller_for(line.raw(), self.pmcs.len());
+                            let ins =
+                                buffers[idx].insert(commit, line.raw(), &mut self.pmcs[ci], None);
+                            if ins.admitted > commit {
+                                next_time = next_time.max(ins.admitted);
+                                self.stats.incr("hops.buffer_full_stalls");
+                            }
+                            bloom.insert(line.raw());
+                            let e = pending.entry(line).or_insert((0, ins.accepted));
+                            e.0 += 1;
+                            e.1 = e.1.max(ins.accepted);
+                            *self.pending_line_persists.entry(line).or_insert(0) += 1;
+                            self.push_event(
+                                ins.accepted,
+                                PmcEventKind::PersistWord {
+                                    addr,
+                                    value,
+                                    spec_id: None,
+                                    commit,
+                                    core: idx,
+                                },
+                            );
+                        }
+                        Machinery::StrandWeaver { buffers } => {
+                            let ci = controller_for(line.raw(), self.pmcs.len());
+                            let ins = buffers[idx].insert(commit, line.raw(), &mut self.pmcs[ci]);
+                            if ins.admitted > commit {
+                                next_time = next_time.max(ins.admitted);
+                                self.stats.incr("strand.buffer_full_stalls");
+                            }
+                            *self.pending_line_persists.entry(line).or_insert(0) += 1;
+                            self.push_event(
+                                ins.accepted,
+                                PmcEventKind::PersistWord {
+                                    addr,
+                                    value,
+                                    spec_id: None,
+                                    commit,
+                                    core: idx,
+                                },
+                            );
+                        }
+                        Machinery::PmemSpec { paths, .. } => {
+                            // Dual-issue: the data leaves for the persist
+                            // path the moment the store retires (§4.2) —
+                            // the path carries the value and bypasses the
+                            // caches, so it does not wait for a
+                            // write-allocate fill the way the cache-side
+                            // write does. This is also why Figure 4's
+                            // false positives exist: the persist can beat
+                            // the fetch's own completion to the PMC.
+                            // The pessimistic retry mode instead
+                            // dispatches after the fill, so the persist
+                            // can never race this store's own fetch.
+                            let base = if self.cores[idx].nonspec_retry {
+                                commit
+                            } else {
+                                retire
+                            };
+                            let dispatch = base.max(self.cores[idx].last_persist_dispatch);
+                            self.cores[idx].last_persist_dispatch = dispatch;
+                            let ci = controller_for(line.raw(), self.pmcs.len());
+                            let route = ci % paths[idx].len();
+                            let delivery = paths[idx][route].send(dispatch);
+                            let svc = self.pmcs[ci].write_word(delivery, line.raw());
+                            paths[idx][route].note_backpressure(svc.accepted);
+                            *self.pending_line_persists.entry(line).or_insert(0) += 1;
+                            self.push_event(
+                                svc.accepted,
+                                PmcEventKind::PersistWord {
+                                    addr,
+                                    value,
+                                    spec_id: spec_tag,
+                                    commit: dispatch,
+                                    core: idx,
+                                },
+                            );
+                            if self.cores[idx].nonspec_retry {
+                                // Pessimistic fallback: wait for
+                                // durability (plus the return ack) before
+                                // proceeding.
+                                next_time =
+                                    next_time.max(svc.accepted + self.cfg.persist_path_latency);
+                            }
+                        }
+                    }
+                }
+                self.cores[idx].time = next_time;
+                self.cores[idx].pc += 1;
+            }
+            Op::Clwb { addr } => {
+                match self.machinery {
+                    Machinery::IntelX86 => {
+                        let retire = self.sq_admit(idx, t);
+                        let out = self
+                            .hierarchy
+                            .clwb(idx, addr.line(), retire, &mut self.pmcs);
+                        let mut completed = out.completed;
+                        if let Some(svc) = out.pm_write {
+                            self.push_event(
+                                svc.accepted,
+                                PmcEventKind::PersistLine { line: addr.line() },
+                            );
+                            self.stats.incr("pmc.clwb_writebacks");
+                            // The CLWB retires once the ADR domain's
+                            // acknowledgment travels back up the
+                            // hierarchy; an SFENCE waits for that.
+                            completed = completed
+                                + self.cfg.llc_to_pmc_latency
+                                + self.cfg.llc.hit_latency
+                                + self.cfg.l1.hit_latency;
+                        }
+                        self.cores[idx].sq.push_back(completed);
+                        self.cores[idx].time = retire + one;
+                    }
+                    // DPO hardware absorbs the flush hint — the persist
+                    // buffer already owns persistence (§3.2: DPO runs
+                    // unmodified x86 binaries).
+                    _ => {
+                        self.cores[idx].time = t + one;
+                    }
+                }
+                self.cores[idx].pc += 1;
+            }
+            Op::Sfence => {
+                match &mut self.machinery {
+                    Machinery::IntelX86 => {
+                        // Stall until all prior stores and CLWBs complete.
+                        let drained = self.cores[idx].sq.iter().copied().max().unwrap_or(t).max(t);
+                        self.cores[idx].sq.clear();
+                        self.cores[idx].time = drained;
+                        self.stats.incr("x86.sfences");
+                    }
+                    Machinery::Dpo { buffers, .. } => {
+                        // DPO enforces persist order at SFENCE and at every
+                        // other barrier the program executes (§8.2.2): the
+                        // fence drains the persist buffer, acknowledgment
+                        // returning over the path — a constraint TSO does
+                        // not actually need, which is why DPO lands below
+                        // the baseline.
+                        let mut drained = buffers[idx].drained_at(t);
+                        if drained > t {
+                            drained = drained + self.cfg.persist_path_latency;
+                        }
+                        buffers[idx].ofence();
+                        self.cores[idx].time = drained;
+                        self.stats.incr("dpo.barrier_drains");
+                    }
+                    _ => unreachable!("SFENCE outside IntelX86/DPO programs"),
+                }
+                self.cores[idx].pc += 1;
+            }
+            Op::Ofence => {
+                let Machinery::Hops { buffers, .. } = &mut self.machinery else {
+                    unreachable!("ofence outside HOPS programs")
+                };
+                buffers[idx].ofence();
+                self.stats.incr("hops.ofences");
+                self.cores[idx].time = t + one;
+                self.cores[idx].pc += 1;
+            }
+            Op::Dfence => {
+                let Machinery::Hops { buffers, .. } = &mut self.machinery else {
+                    unreachable!("dfence outside HOPS programs")
+                };
+                // The drain acknowledgment returns over the persist path.
+                let mut drained = buffers[idx].drained_at(t);
+                if drained > t {
+                    drained = drained + self.cfg.persist_path_latency;
+                }
+                let joined = self.join_loads(idx, t);
+                self.cores[idx].time = drained.max(joined);
+                self.stats.incr("hops.dfences");
+                self.cores[idx].pc += 1;
+            }
+            Op::SpecBarrier => {
+                let Machinery::PmemSpec { paths, .. } = &mut self.machinery else {
+                    unreachable!("spec-barrier outside PMEM-Spec programs")
+                };
+                // The drain acknowledgment returns over the persist path;
+                // with multiple routes, wait for them all.
+                let mut drained = paths[idx]
+                    .iter()
+                    .map(|p| p.drained_at(t))
+                    .max()
+                    .unwrap_or(t);
+                if drained > t {
+                    drained = drained + self.cfg.persist_path_latency;
+                }
+                let joined = self.join_loads(idx, t);
+                self.cores[idx].time = drained.max(joined);
+                self.stats.incr("spec.barriers");
+                self.cores[idx].pc += 1;
+            }
+            Op::SpecAssign => {
+                let Machinery::PmemSpec { counter, .. } = &mut self.machinery else {
+                    unreachable!("spec-assign outside PMEM-Spec programs")
+                };
+                self.cores[idx].spec_tag = Some(*counter);
+                *counter += 1;
+                self.cores[idx].time = t + one;
+                self.cores[idx].pc += 1;
+            }
+            Op::SpecRevoke => {
+                self.cores[idx].spec_tag = None;
+                self.cores[idx].time = t + one;
+                self.cores[idx].pc += 1;
+            }
+            Op::NewStrand => {
+                let Machinery::StrandWeaver { buffers } = &mut self.machinery else {
+                    unreachable!("new-strand outside StrandWeaver programs")
+                };
+                buffers[idx].new_strand();
+                self.stats.incr("strand.new");
+                self.cores[idx].time = t + one;
+                self.cores[idx].pc += 1;
+            }
+            Op::StrandBarrier => {
+                let Machinery::StrandWeaver { buffers } = &mut self.machinery else {
+                    unreachable!("persist-barrier outside StrandWeaver programs")
+                };
+                buffers[idx].strand_barrier();
+                self.stats.incr("strand.barriers");
+                self.cores[idx].time = t + one;
+                self.cores[idx].pc += 1;
+            }
+            Op::JoinStrand => {
+                let Machinery::StrandWeaver { buffers } = &mut self.machinery else {
+                    unreachable!("join-strand outside StrandWeaver programs")
+                };
+                // The drain acknowledgment returns over the path.
+                let mut joined = buffers[idx].joined_at(t);
+                if joined > t {
+                    joined = joined + self.cfg.persist_path_latency;
+                }
+                let loads = self.join_loads(idx, t);
+                self.cores[idx].time = joined.max(loads);
+                self.stats.incr("strand.joins");
+                self.cores[idx].pc += 1;
+            }
+            Op::Lock { lock } => {
+                let line_off = LOCK_REGION_BASE + u64::from(lock.0) * 64;
+                let lock_state = self.locks.entry(lock).or_insert_with(|| LockState {
+                    line: Addr::dram(line_off).line(),
+                    holder: None,
+                    granted: false,
+                    free_at: Cycle::ZERO,
+                    waiters: VecDeque::new(),
+                });
+                let line = lock_state.line;
+                let free_at = lock_state.free_at;
+                let pre_granted = lock_state.holder == Some(idx) && lock_state.granted;
+                if pre_granted || lock_state.holder.is_none() {
+                    // Acquire: an atomic RMW on the lock's cache line.
+                    // Atomics drain the store queue and in-flight loads
+                    // first (x86 locked ops are full fences), and the
+                    // acquire cannot succeed before the previous release
+                    // became visible.
+                    let t_loads = self.join_loads(idx, t);
+                    let t_fenced = t_loads.max(self.cores[idx].last_store_commit).max(free_at);
+                    let out = self.hierarchy.access(
+                        idx,
+                        AccessKind::Write,
+                        line,
+                        t_fenced,
+                        &mut self.pmcs,
+                        &mut self.dram,
+                    );
+                    self.record_access(out.served_from);
+                    self.handle_evictions(out.dirty_pm_evictions);
+                    let mut done = out.completed;
+                    if let Machinery::Dpo { buffers, .. } = &self.machinery {
+                        // DPO orders persists at every barrier the program
+                        // executes, including the acquire fence (§8.2.2);
+                        // the drain acknowledgment returns over the path.
+                        let mut drained = buffers[idx].drained_at(t);
+                        if drained > t {
+                            drained = drained + self.cfg.persist_path_latency;
+                        }
+                        done = done.max(drained);
+                        self.stats.incr("dpo.barrier_drains");
+                    }
+                    let lock_state = self.locks.get_mut(&lock).expect("just inserted");
+                    lock_state.holder = Some(idx);
+                    lock_state.granted = false;
+                    self.cores[idx].held_locks.push(lock);
+                    self.cores[idx].time = done;
+                    self.cores[idx].pc += 1;
+                    self.stats.incr("lock.acquires");
+                } else {
+                    lock_state.waiters.push_back(idx);
+                    self.cores[idx].status = CoreStatus::Waiting(lock);
+                    self.stats.incr("lock.contended");
+                }
+            }
+            Op::Unlock { lock } => {
+                // The release store becomes visible only after all prior
+                // stores committed (TSO) and critical-section loads
+                // returned.
+                let t_loads = self.join_loads(idx, t);
+                let mut release_at = t_loads.max(self.cores[idx].last_store_commit);
+                if let Machinery::Dpo { buffers, .. } = &self.machinery {
+                    let mut drained = buffers[idx].drained_at(t);
+                    if drained > t {
+                        drained = drained + self.cfg.persist_path_latency;
+                    }
+                    release_at = release_at.max(drained);
+                    self.stats.incr("dpo.barrier_drains");
+                }
+                let line = self.locks.get(&lock).expect("unlocking unknown lock").line;
+                let out = self.hierarchy.access(
+                    idx,
+                    AccessKind::Write,
+                    line,
+                    release_at,
+                    &mut self.pmcs,
+                    &mut self.dram,
+                );
+                self.record_access(out.served_from);
+                self.handle_evictions(out.dirty_pm_evictions);
+                let done = out.completed;
+                let pos = self.cores[idx]
+                    .held_locks
+                    .iter()
+                    .position(|&l| l == lock)
+                    .expect("unlocking a lock not held");
+                self.cores[idx].held_locks.remove(pos);
+                self.release_lock(lock, idx, done);
+                self.cores[idx].time = done;
+                self.cores[idx].pc += 1;
+            }
+            Op::Checkpoint => {
+                let core = &mut self.cores[idx];
+                // Checkpoints are only meaningful once the misspeculation
+                // signal for earlier regions has had time to arrive; the
+                // runtime conservatively waits out the trap latency of
+                // anything detected at this instant before narrowing the
+                // rollback scope. We model the common case (no pending
+                // signal) as a plain marker.
+                core.checkpoint = Some((core.pc, core.shadow.len(), core.held_locks.len()));
+                core.time = t + one;
+                core.pc += 1;
+                self.stats.incr("fase.checkpoints");
+            }
+            Op::FaseBegin { .. } => {
+                let core = &mut self.cores[idx];
+                core.in_fase = true;
+                core.fase_start_pc = core.pc;
+                core.fase_start_time = t;
+                core.checkpoint = None;
+                core.shadow.clear();
+                // §6.2.1: a thread clears its own flag when it begins a
+                // new FASE (or re-executes one).
+                core.misspec_flag = false;
+                core.pc += 1;
+            }
+            Op::FaseEnd { .. } => {
+                let joined = self.join_loads(idx, t);
+                self.cores[idx].time = joined;
+                if self.cores[idx].misspec_flag {
+                    // Lazy recovery: roll back at the commit point.
+                    self.abort_fase(idx);
+                } else {
+                    let duration = t.saturating_since(self.cores[idx].fase_start_time);
+                    self.stats.observe("fase.latency", duration);
+                    let core = &mut self.cores[idx];
+                    core.in_fase = false;
+                    core.shadow.clear();
+                    core.committed += 1;
+                    core.aborts_this_fase = 0;
+                    core.nonspec_retry = false;
+                    core.checkpoint = None;
+                    core.pc += 1;
+                    self.stats.incr("fase.committed");
+                }
+            }
+        }
+    }
+
+    /// Runs until simulated time `crash_at`, then simulates a power
+    /// failure: volatile state is lost, and only persists that *arrived at
+    /// the PM controller* (ADR domain) by then survive.
+    ///
+    /// Instructions that *start* by `crash_at` execute (their in-flight
+    /// persists may or may not land, which is exactly the torn state
+    /// recovery must handle); a FASE counts as durable only when its
+    /// end-of-FASE barrier completed by `crash_at`.
+    pub fn run_until(mut self, crash_at: Cycle) -> CrashOutcome {
+        let mut durable_fases = vec![0u64; self.cores.len()];
+        let mut started_fases = vec![0u64; self.cores.len()];
+        loop {
+            let Some(idx) = self.next_core() else { break };
+            if self.cores[idx].time < self.stall_until {
+                self.cores[idx].time = self.stall_until;
+            }
+            let t = self.cores[idx].time;
+            if t > crash_at {
+                break;
+            }
+            self.drain_events(t);
+            let pc = self.cores[idx].pc;
+            match self.program.thread(idx).ops().get(pc) {
+                Some(Op::FaseEnd { .. }) if !self.cores[idx].misspec_flag => {
+                    durable_fases[idx] += 1;
+                }
+                Some(Op::FaseBegin { .. }) => {
+                    started_fases[idx] += 1;
+                }
+                _ => {}
+            }
+            self.step(idx);
+        }
+        self.drain_events(crash_at);
+        CrashOutcome {
+            persistent: self.image.persistent_snapshot(),
+            durable_fases,
+            started_fases,
+        }
+    }
+
+    /// Runs the program to completion and reports the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (a lock cycle in the program) or a recovery
+    /// livelock (a FASE aborting without bound).
+    pub fn run(self) -> RunReport {
+        self.run_full().0
+    }
+
+    /// Like [`System::run`], but also returns the final memory image so
+    /// callers can check coherent and persistent values.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`System::run`].
+    pub fn run_full(mut self) -> (RunReport, MemoryImage) {
+        self.run_loop();
+        let image = std::mem::take(&mut self.image);
+        (self.build_report(), image)
+    }
+
+    /// The main execution loop shared by every `run_*` entry point.
+    fn run_loop(&mut self) {
+        while let Some(idx) = self.next_core() {
+            if self.cores[idx].time < self.stall_until {
+                // Speculation-buffer overflow pauses every core (§5.3).
+                self.cores[idx].time = self.stall_until;
+            }
+            let t = self.cores[idx].time;
+            self.drain_events(t);
+            if self.policy == RecoveryPolicy::Eager
+                && self.cores[idx].misspec_flag
+                && self.cores[idx].in_fase
+                && self.cores[idx].flag_time <= t
+            {
+                self.abort_fase(idx);
+                continue;
+            }
+            let pc_before = self.cores[idx].pc;
+            self.step(idx);
+            if self.tracer.is_some() {
+                self.record_step(idx, pc_before, t);
+            }
+        }
+        self.drain_events(Cycle::MAX);
+    }
+
+    /// Records the just-executed instruction as a trace span.
+    fn record_step(&mut self, idx: usize, pc_before: usize, start: Cycle) {
+        let Some(op) = self.program.thread(idx).ops().get(pc_before) else {
+            return;
+        };
+        let name = match op {
+            Op::Load { .. } => "ld",
+            Op::Store { .. } => "st",
+            Op::Clwb { .. } => "clwb",
+            Op::Sfence => "sfence",
+            Op::Ofence => "ofence",
+            Op::Dfence => "dfence",
+            Op::SpecBarrier => "spec-barrier",
+            Op::SpecAssign => "spec-assign",
+            Op::SpecRevoke => "spec-revoke",
+            Op::NewStrand => "new-strand",
+            Op::JoinStrand => "join-strand",
+            Op::StrandBarrier => "persist-barrier",
+            Op::Compute { .. } => "compute",
+            Op::Lock { .. } => "lock",
+            Op::Unlock { .. } => "unlock",
+            Op::Checkpoint => "checkpoint",
+            Op::FaseBegin { .. } => "fase-begin",
+            Op::FaseEnd { .. } => "fase-end",
+        };
+        let end = self.cores[idx].time;
+        if let Some(tr) = &mut self.tracer {
+            tr.span(idx, name, start, end.max(start));
+        }
+    }
+
+    fn build_report(mut self) -> RunReport {
+        let total_time = self
+            .cores
+            .iter()
+            .map(|c| c.time)
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        let fases_committed = self.cores.iter().map(|c| c.committed).sum();
+        let fases_aborted = self.cores.iter().map(|c| c.aborted).sum();
+        let (load_det, store_det, overflows) = match &self.machinery {
+            Machinery::PmemSpec { spec, .. } => {
+                self.stats.add(
+                    "spec_buffer.allocations",
+                    spec.iter().map(|s| s.allocations()).sum(),
+                );
+                self.stats.add(
+                    "spec_buffer.expirations",
+                    spec.iter().map(|s| s.expirations()).sum(),
+                );
+                (
+                    spec.iter().map(|s| s.load_detections()).sum(),
+                    spec.iter().map(|s| s.store_detections()).sum(),
+                    spec.iter().map(|s| s.overflows()).sum(),
+                )
+            }
+            Machinery::Hops { buffers, .. } | Machinery::Dpo { buffers, .. } => {
+                let stalls: u64 = buffers.iter().map(|b| b.full_stalls()).sum();
+                self.stats.add("persist_buffer.full_stalls", stalls);
+                (0, 0, 0)
+            }
+            Machinery::StrandWeaver { buffers } => {
+                let stalls: u64 = buffers.iter().map(|b| b.full_stalls()).sum();
+                self.stats.add("strand_buffer.full_stalls", stalls);
+                (0, 0, 0)
+            }
+            Machinery::IntelX86 => (0, 0, 0),
+        };
+        RunReport {
+            design: self.program.design(),
+            total_time,
+            fases_committed,
+            fases_aborted,
+            load_misspec_detected: load_det,
+            store_misspec_detected: store_det,
+            stale_reads_ground_truth: self.stale_reads,
+            store_inversions_ground_truth: self.inversions,
+            persist_order_violations: self.persist_order_violations,
+            spec_buffer_overflows: overflows,
+            pm_reads: self.pmcs.iter().map(|p| p.reads()).sum(),
+            pm_writes: self.pmcs.iter().map(|p| p.writes()).sum(),
+            stats: self.stats,
+        }
+    }
+
+    /// Enables execution tracing; retrieve the recorder with
+    /// [`System::run_traced`].
+    pub fn with_trace(mut self) -> Self {
+        self.tracer = Some(TraceRecorder::new());
+        self
+    }
+
+    /// Runs to completion and returns the report together with the
+    /// recorded trace (empty unless [`System::with_trace`] was called).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`System::run`].
+    pub fn run_traced(mut self) -> (RunReport, TraceRecorder) {
+        self.run_loop();
+        let tracer = self.tracer.take().unwrap_or_default();
+        (self.build_report(), tracer)
+    }
+}
+
+/// Runs `program` on a machine configured by `cfg` and returns the report.
+///
+/// Convenience wrapper over [`System::new`] + [`System::run`].
+///
+/// # Errors
+///
+/// Returns [`BuildSystemError`] when the inputs are invalid.
+///
+/// # Examples
+///
+/// ```
+/// use pmem_spec::run_program;
+/// use pmemspec_engine::SimConfig;
+/// use pmemspec_isa::{AbsProgram, AbsThread, Addr, DesignKind, lower_program};
+///
+/// let mut p = AbsProgram::new();
+/// let mut t = AbsThread::new();
+/// t.begin_fase();
+/// t.data_write(Addr::pm(0), 7u64);
+/// t.end_fase();
+/// p.add_thread(t);
+///
+/// let cfg = SimConfig::asplos21(1);
+/// let report = run_program(cfg, lower_program(DesignKind::PmemSpec, &p))?;
+/// assert_eq!(report.fases_committed, 1);
+/// # Ok::<(), pmem_spec::BuildSystemError>(())
+/// ```
+pub fn run_program(cfg: SimConfig, program: Program) -> Result<RunReport, BuildSystemError> {
+    Ok(System::new(cfg, program)?.run())
+}

@@ -1,0 +1,146 @@
+//! The Figure 5 automata as an explicit transition table, checked
+//! end-to-end against the speculation buffer's observable behaviour.
+//!
+//! States (Table 1): `Initial` (no entry), `Evict` (monitoring after an
+//! LLC writeback), `Speculated` (the monitored block was fetched),
+//! `Misspeculation` (terminal — reported and cleared).
+//! Inputs (Table 2): `WriteBack`, `Read`, `Persist`, and the window timer
+//! `Evict`.
+
+use pmem_spec::spec_buffer::{Detection, DetectionMode, SpecBuffer};
+use pmemspec_engine::clock::{Cycle, Duration};
+use pmemspec_isa::Addr;
+
+const WINDOW: Duration = Duration::from_ns(160);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Initial,
+    Evict,
+    Speculated,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Input {
+    WriteBack,
+    Read,
+    Persist,
+    /// Let the window expire before the next input.
+    Timer,
+}
+
+/// Drives the buffer from `Initial` through `prefix`, then applies
+/// `input` and reports (resulting state probed behaviourally, fired?).
+fn drive(prefix: &[Input], input: Input) -> (State, bool) {
+    let line = Addr::pm(0).line();
+    let mut buf = SpecBuffer::new(16, WINDOW, DetectionMode::EvictionBased);
+    let mut now = Cycle::from_ns(1);
+    let step = Duration::from_ns(10);
+    let mut apply = |buf: &mut SpecBuffer, now: &mut Cycle, i: Input| -> bool {
+        match i {
+            Input::WriteBack => {
+                buf.on_writeback(line, *now);
+                *now = *now + step;
+                false
+            }
+            Input::Read => {
+                buf.on_read(line, *now);
+                *now = *now + step;
+                false
+            }
+            Input::Persist => {
+                let (d, _) = buf.on_persist(line, None, *now);
+                *now = *now + step;
+                d.iter().any(|d| matches!(d, Detection::LoadMisspec { .. }))
+            }
+            Input::Timer => {
+                *now = *now + WINDOW + step;
+                false
+            }
+        }
+    };
+    for &i in prefix {
+        apply(&mut buf, &mut now, i);
+    }
+    let fired = apply(&mut buf, &mut now, input);
+    // Probe the resulting state behaviourally: a Persist next fires only
+    // from Speculated; a Read-then-Persist fires only if an entry in
+    // Evict (or Speculated) existed.
+    let mut probe_a = buf.clone();
+    let mut t = now;
+    let (da, _) = probe_a.on_persist(line, None, t);
+    let speculated = da
+        .iter()
+        .any(|d| matches!(d, Detection::LoadMisspec { .. }));
+    let state = if speculated {
+        State::Speculated
+    } else {
+        let mut probe_b = buf.clone();
+        t = t + step;
+        probe_b.on_read(line, t);
+        let (db, _) = probe_b.on_persist(line, None, t + step);
+        if db
+            .iter()
+            .any(|d| matches!(d, Detection::LoadMisspec { .. }))
+        {
+            State::Evict
+        } else {
+            State::Initial
+        }
+    };
+    (state, fired)
+}
+
+#[test]
+fn initial_transitions() {
+    // Initial --WriteBack--> Evict
+    assert_eq!(drive(&[], Input::WriteBack), (State::Evict, false));
+    // Initial --Read--> Initial (no entry; fetches are not monitored)
+    assert_eq!(drive(&[], Input::Read), (State::Initial, false));
+    // Initial --Persist--> Initial
+    assert_eq!(drive(&[], Input::Persist), (State::Initial, false));
+}
+
+#[test]
+fn evict_transitions() {
+    let evict = [Input::WriteBack];
+    // Evict --Read--> Speculated
+    assert_eq!(drive(&evict, Input::Read), (State::Speculated, false));
+    // Evict --Persist--> Initial (hazard cleared, entry freed)
+    assert_eq!(drive(&evict, Input::Persist), (State::Initial, false));
+    // Evict --WriteBack--> Evict (restart monitoring)
+    assert_eq!(drive(&evict, Input::WriteBack), (State::Evict, false));
+    // Evict --Timer--> Initial (expiry)
+    assert_eq!(drive(&evict, Input::Timer), (State::Initial, false));
+}
+
+#[test]
+fn speculated_transitions() {
+    let speculated = [Input::WriteBack, Input::Read];
+    // Speculated --Persist--> Misspeculation (fires), then Initial.
+    let (state, fired) = drive(&speculated, Input::Persist);
+    assert!(
+        fired,
+        "WriteBack -> Read -> Persist is the detection pattern"
+    );
+    assert_eq!(state, State::Initial, "detection consumes the entry");
+    // Speculated --Read--> Speculated (window restarts)
+    assert_eq!(drive(&speculated, Input::Read), (State::Speculated, false));
+    // Speculated --Timer--> Initial (speculation deemed correct)
+    assert_eq!(drive(&speculated, Input::Timer), (State::Initial, false));
+    // Speculated --WriteBack--> Evict (new eviction supersedes)
+    assert_eq!(drive(&speculated, Input::WriteBack), (State::Evict, false));
+}
+
+#[test]
+fn expiry_is_relative_to_the_last_refresh() {
+    // WriteBack at t, Read at t+150 ns (inside the writeback window):
+    // the *read* restarts the window, so a persist at t+250 ns still
+    // fires even though it is past the writeback's own window.
+    let line = Addr::pm(0).line();
+    let mut buf = SpecBuffer::new(16, WINDOW, DetectionMode::EvictionBased);
+    buf.on_writeback(line, Cycle::from_ns(0));
+    buf.on_read(line, Cycle::from_ns(150));
+    let (d, _) = buf.on_persist(line, None, Cycle::from_ns(250));
+    assert_eq!(d.len(), 1);
+}

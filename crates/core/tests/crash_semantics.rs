@@ -1,0 +1,122 @@
+//! Focused unit-level tests of `run_until` (power-failure) semantics.
+
+use pmem_spec::System;
+use pmemspec_engine::clock::Cycle;
+use pmemspec_engine::SimConfig;
+use pmemspec_isa::{lower_program, AbsProgram, AbsThread, Addr, DesignKind};
+
+fn one_fase_program() -> AbsProgram {
+    let mut t = AbsThread::new();
+    t.begin_fase();
+    t.log_write(Addr::pm(0), 1u64);
+    t.log_order();
+    t.data_write(Addr::pm(4096), 42u64);
+    t.end_fase();
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    p
+}
+
+#[test]
+fn crash_at_time_zero_preserves_nothing() {
+    let sys = System::new(
+        SimConfig::asplos21(1),
+        lower_program(DesignKind::PmemSpec, &one_fase_program()),
+    )
+    .unwrap();
+    let outcome = sys.run_until(Cycle::ZERO);
+    assert!(outcome.persistent.is_empty(), "nothing persisted at t=0");
+    assert_eq!(outcome.durable_fases, vec![0]);
+    // The first instruction starts at t=0, so the FASE counts as started.
+    assert_eq!(outcome.started_fases, vec![1]);
+}
+
+#[test]
+fn crash_after_the_end_preserves_everything() {
+    let program = lower_program(DesignKind::PmemSpec, &one_fase_program());
+    let full = System::new(SimConfig::asplos21(1), program.clone())
+        .unwrap()
+        .run();
+    let outcome = System::new(SimConfig::asplos21(1), program)
+        .unwrap()
+        .run_until(full.total_time + pmemspec_engine::clock::Duration::from_ns(10_000));
+    assert_eq!(outcome.durable_fases, vec![1]);
+    assert_eq!(outcome.persistent.get(&Addr::pm(4096)), Some(&42));
+    assert_eq!(outcome.persistent.get(&Addr::pm(0)), Some(&1));
+}
+
+#[test]
+fn crash_sweep_is_monotone_in_time() {
+    // Later crash points can only know *more* persists (single thread,
+    // no recovery rewrites in this program).
+    let program = lower_program(DesignKind::PmemSpec, &one_fase_program());
+    let full = System::new(SimConfig::asplos21(1), program.clone())
+        .unwrap()
+        .run();
+    let mut prev_len = 0usize;
+    for i in 0..=20u64 {
+        let t = Cycle::from_raw(full.total_time.raw() * i / 20);
+        let outcome = System::new(SimConfig::asplos21(1), program.clone())
+            .unwrap()
+            .run_until(t);
+        assert!(
+            outcome.persistent.len() >= prev_len,
+            "persistent footprint shrank at {t}"
+        );
+        prev_len = outcome.persistent.len();
+    }
+}
+
+#[test]
+fn durable_counts_are_per_thread() {
+    let mut p = AbsProgram::new();
+    for tid in 0..3u64 {
+        let mut t = AbsThread::new();
+        for i in 0..(tid + 1) {
+            t.begin_fase();
+            t.data_write(Addr::pm(8192 + tid * 4096 + i * 64), i + 1);
+            t.end_fase();
+        }
+        p.add_thread(t);
+    }
+    let program = lower_program(DesignKind::PmemSpec, &p);
+    let full = System::new(SimConfig::asplos21(3), program.clone())
+        .unwrap()
+        .run();
+    let outcome = System::new(SimConfig::asplos21(3), program)
+        .unwrap()
+        .run_until(full.total_time + pmemspec_engine::clock::Duration::from_ns(1));
+    assert_eq!(outcome.durable_fases, vec![1, 2, 3]);
+    assert_eq!(outcome.started_fases, vec![1, 2, 3]);
+}
+
+#[test]
+fn crash_respects_adr_acceptance_not_device_completion() {
+    // A persist is durable at write-queue acceptance; crash just after
+    // acceptance but before the device's 94 ns write completes must keep
+    // the data.
+    let program = lower_program(DesignKind::PmemSpec, &one_fase_program());
+    // The data store commits within a few ns and its persist is accepted
+    // ~20 ns later; the device write finishes ~94 ns after that. Crash in
+    // between: scan for the earliest crash time where the data is present
+    // and check it is well before accept+94ns.
+    let full = System::new(SimConfig::asplos21(1), program.clone())
+        .unwrap()
+        .run();
+    let mut first_seen = None;
+    for ns in 0..=full.total_time.as_ns() + 1 {
+        let outcome = System::new(SimConfig::asplos21(1), program.clone())
+            .unwrap()
+            .run_until(Cycle::from_ns(ns));
+        if outcome.persistent.get(&Addr::pm(4096)) == Some(&42) {
+            first_seen = Some(ns);
+            break;
+        }
+    }
+    let first_seen = first_seen.expect("data must persist eventually");
+    assert!(
+        first_seen + 94 > full.total_time.as_ns(),
+        "durability arrived at {first_seen} ns — acceptance-based (ADR), \
+         not delayed by the device write"
+    );
+}

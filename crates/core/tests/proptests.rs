@@ -1,0 +1,180 @@
+//! Property tests for the speculation machinery.
+
+use proptest::prelude::*;
+
+use pmem_spec::bloom::CountingBloom;
+use pmem_spec::spec_buffer::{Detection, DetectionMode, SpecBuffer};
+use pmemspec_engine::clock::{Cycle, Duration};
+use pmemspec_isa::addr::{Addr, LineAddr};
+
+const WINDOW_NS: u64 = 160;
+
+fn line(i: u64) -> LineAddr {
+    Addr::pm(i * 64).line()
+}
+
+/// One PMC input event for the automata.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    WriteBack(u64),
+    Read(u64),
+    Persist(u64, Option<u8>),
+}
+
+fn event() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0u64..6).prop_map(Ev::WriteBack),
+        (0u64..6).prop_map(Ev::Read),
+        ((0u64..6), prop::option::of(0u8..8)).prop_map(|(l, id)| Ev::Persist(l, id)),
+    ]
+}
+
+/// Replays events with the given inter-arrival gaps and returns all
+/// detections plus the reference "true pattern" computation.
+fn replay(buf: &mut SpecBuffer, events: &[(Ev, u64)]) -> (Vec<Detection>, Vec<(u64, u64)>) {
+    let mut detections = Vec::new();
+    // Reference: for each line track (last WB time, last Read-after-WB
+    // time); a persist within the window after such a read is a true
+    // WriteBack→Read→Persist pattern.
+    let mut last_wb: std::collections::HashMap<u64, u64> = Default::default();
+    let mut armed_read: std::collections::HashMap<u64, u64> = Default::default();
+    let mut true_patterns = Vec::new();
+    let mut now = 0u64;
+    for &(ev, gap) in events {
+        now += gap;
+        let t = Cycle::from_ns(now);
+        match ev {
+            Ev::WriteBack(l) => {
+                buf.on_writeback(line(l), t);
+                last_wb.insert(l, now);
+                armed_read.remove(&l);
+            }
+            Ev::Read(l) => {
+                buf.on_read(line(l), t);
+                if last_wb.get(&l).is_some_and(|&wb| now < wb + WINDOW_NS) {
+                    armed_read.insert(l, now);
+                }
+            }
+            Ev::Persist(l, id) => {
+                let (d, _) = buf.on_persist(line(l), id.map(u64::from), t);
+                if armed_read.get(&l).is_some_and(|&rd| now < rd + WINDOW_NS) {
+                    true_patterns.push((l, now));
+                    armed_read.remove(&l);
+                }
+                if !d.is_empty() {
+                    detections.extend(d);
+                }
+                // Any persist refreshes the device copy: the eviction
+                // hazard for this line is gone until the next writeback.
+                last_wb.remove(&l);
+            }
+        }
+    }
+    (detections, true_patterns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// With an unbounded buffer, eviction-based detection fires on every
+    /// unambiguous WriteBack→Read→Persist pattern inside the window — no
+    /// false negatives (soundness is what makes speculation safe).
+    #[test]
+    fn detector_catches_all_patterns_when_not_capacity_limited(
+        events in prop::collection::vec((event(), 1u64..40), 1..60)
+    ) {
+        let mut buf = SpecBuffer::new(
+            1024,
+            Duration::from_ns(WINDOW_NS),
+            DetectionMode::EvictionBased,
+        );
+        let (detections, truth) = replay(&mut buf, &events);
+        let load_detections = detections
+            .iter()
+            .filter(|d| matches!(d, Detection::LoadMisspec { .. }))
+            .count();
+        prop_assert!(
+            load_detections >= truth.len(),
+            "missed patterns: detected {load_detections}, reference {}",
+            truth.len()
+        );
+    }
+
+    /// The buffer never exceeds its capacity, whatever the input.
+    #[test]
+    fn occupancy_bounded(
+        cap in 1usize..8,
+        events in prop::collection::vec((event(), 1u64..40), 1..80)
+    ) {
+        let mut buf = SpecBuffer::new(cap, Duration::from_ns(WINDOW_NS), DetectionMode::EvictionBased);
+        let mut now = 0u64;
+        for &(ev, gap) in &events {
+            now += gap;
+            let t = Cycle::from_ns(now);
+            match ev {
+                Ev::WriteBack(l) => { buf.on_writeback(line(l), t); }
+                Ev::Read(l) => { buf.on_read(line(l), t); }
+                Ev::Persist(l, id) => { buf.on_persist(line(l), id.map(u64::from), t); }
+            }
+            prop_assert!(buf.occupancy(t) <= cap);
+        }
+    }
+
+    /// Store misspeculation fires exactly when tagged IDs for one line
+    /// invert within the window (given capacity headroom).
+    #[test]
+    fn store_detection_matches_id_inversions(
+        ids in prop::collection::vec((0u64..3, 0u8..16, 1u64..50), 1..40)
+    ) {
+        let mut buf = SpecBuffer::new(1024, Duration::from_ns(WINDOW_NS), DetectionMode::EvictionBased);
+        let mut max_id: std::collections::HashMap<u64, (u64, u64)> = Default::default();
+        let mut expected = 0usize;
+        let mut got = 0usize;
+        let mut now = 0u64;
+        for &(l, id, gap) in &ids {
+            now += gap;
+            let t = Cycle::from_ns(now);
+            let id = u64::from(id);
+            if let Some(&(prev, at)) = max_id.get(&l) {
+                if now < at + WINDOW_NS && prev > id {
+                    expected += 1;
+                }
+            }
+            let (d, _) = buf.on_persist(line(l), Some(id), t);
+            got += d
+                .iter()
+                .filter(|d| matches!(d, Detection::StoreMisspec { .. }))
+                .count();
+            let entry = max_id.entry(l).or_insert((id, now));
+            // Track like the hardware: max ID within a refreshed window.
+            if now >= entry.1 + WINDOW_NS {
+                *entry = (id, now);
+            } else {
+                *entry = (entry.0.max(id), now);
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The counting bloom filter has no false negatives under arbitrary
+    /// interleavings of inserts and removes.
+    #[test]
+    fn bloom_no_false_negatives(ops in prop::collection::vec((0u64..32, any::<bool>()), 1..200)) {
+        let mut f = CountingBloom::new(256);
+        let mut counts = [0u32; 32];
+        for &(k, insert) in &ops {
+            if insert {
+                f.insert(k);
+                counts[k as usize] += 1;
+            } else if counts[k as usize] > 0 {
+                f.remove(k);
+                counts[k as usize] -= 1;
+            }
+            for (k, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    prop_assert!(f.might_contain(k as u64), "false negative for {k}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The simulated time base.
+//!
+//! The paper simulates 2 GHz cores (Table 3), so one cycle is 0.5 ns. All
+//! latencies in the paper are given in nanoseconds; to keep arithmetic exact
+//! we count *cycles* and define [`CYCLES_PER_NS`] = 2.
+//!
+//! [`Cycle`] is an absolute point in simulated time; [`Duration`] is a span.
+//! Both are thin wrappers over `u64` with saturating-free, panicking-on-
+//! overflow arithmetic (an overflow would indicate a runaway simulation).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Number of clock cycles per nanosecond at the simulated 2 GHz frequency.
+pub const CYCLES_PER_NS: u64 = 2;
+
+/// An absolute point in simulated time, measured in cycles since reset.
+///
+/// # Examples
+///
+/// ```
+/// use pmemspec_engine::clock::{Cycle, Duration};
+///
+/// let start = Cycle::ZERO;
+/// let later = start + Duration::from_ns(10);
+/// assert!(later > start);
+/// assert_eq!(later - start, Duration::from_ns(10));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// A time later than any the simulator will reach; used as an "infinity"
+    /// sentinel when ordering pending events.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a time from a raw cycle count.
+    pub const fn from_raw(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Creates a time `ns` nanoseconds after reset.
+    pub const fn from_ns(ns: u64) -> Self {
+        Cycle(ns * CYCLES_PER_NS)
+    }
+
+    /// The raw cycle count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in (whole) nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / CYCLES_PER_NS
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// The duration since `earlier`, or [`Duration::ZERO`] if `earlier` is
+    /// in the future.
+    pub fn saturating_since(self, earlier: Cycle) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycle({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+/// A span of simulated time, measured in cycles.
+///
+/// # Examples
+///
+/// ```
+/// use pmemspec_engine::clock::Duration;
+///
+/// let d = Duration::from_ns(20);
+/// assert_eq!(d.raw(), 40); // 2 cycles per ns
+/// assert_eq!(d * 4, Duration::from_ns(80));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// An empty span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from a raw cycle count.
+    pub const fn from_cycles(cycles: u64) -> Self {
+        Duration(cycles)
+    }
+
+    /// Creates a duration of `ns` nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns * CYCLES_PER_NS)
+    }
+
+    /// The raw cycle count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// This span expressed in (whole) nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / CYCLES_PER_NS
+    }
+
+    /// True when the span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Duration({})", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl Add<Duration> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: Duration) -> Cycle {
+        Cycle(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign<Duration> for Cycle {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = Duration;
+    fn sub(self, rhs: Cycle) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracted a later time from an earlier one"),
+        )
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracted a longer duration from a shorter one"),
+        )
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl std::ops::Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip() {
+        for ns in [0, 1, 20, 94, 175, 1000] {
+            assert_eq!(Duration::from_ns(ns).as_ns(), ns);
+            assert_eq!(Cycle::from_ns(ns).as_ns(), ns);
+        }
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let t = Cycle::from_raw(100);
+        let u = t + Duration::from_cycles(40);
+        assert_eq!(u.raw(), 140);
+        assert_eq!(u - t, Duration::from_cycles(40));
+        assert_eq!(t.max(u), u);
+        assert_eq!(t.min(u), t);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = Cycle::from_raw(5);
+        let late = Cycle::from_raw(9);
+        assert_eq!(late.saturating_since(early).raw(), 4);
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn negative_duration_panics() {
+        let _ = Cycle::from_raw(1) - Cycle::from_raw(2);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = [1u64, 2, 3].iter().map(|&c| Duration::from_cycles(c)).sum();
+        assert_eq!(total.raw(), 6);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Cycle::from_raw(7).to_string(), "7cy");
+        assert_eq!(Duration::from_cycles(7).to_string(), "7cy");
+        assert!(format!("{:?}", Cycle::from_raw(7)).contains('7'));
+    }
+}

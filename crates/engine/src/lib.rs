@@ -1,0 +1,37 @@
+//! Discrete-event simulation kernel for the PMEM-Spec reproduction.
+//!
+//! This crate provides the substrate-independent pieces of the simulator:
+//!
+//! * [`clock`] — the simulated time base (a 2 GHz cycle clock) and
+//!   conversions between nanoseconds and cycles.
+//! * [`rng`] — a small, deterministic xoshiro256** PRNG so that every
+//!   simulation is exactly reproducible from a seed.
+//! * [`stats`] — counters and histograms collected during simulation.
+//! * [`config`] — the simulator configuration, whose defaults reproduce
+//!   Table 3 of the ASPLOS 2021 paper.
+//!
+//! The simulator built on top of this kernel is *event-driven at component
+//! boundaries*: components exchange timestamped requests and responses, and
+//! per-thread interpreters advance local time. There is no host-level
+//! concurrency anywhere; simulated concurrency is interleaved
+//! deterministically.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmemspec_engine::clock::{Cycle, Duration, CYCLES_PER_NS};
+//!
+//! let t = Cycle::ZERO + Duration::from_ns(20);
+//! assert_eq!(t.raw(), 20 * CYCLES_PER_NS);
+//! ```
+
+pub mod clock;
+pub mod config;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Cycle, Duration};
+pub use config::SimConfig;
+pub use rng::SimRng;
+pub use stats::Stats;

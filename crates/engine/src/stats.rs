@@ -1,0 +1,274 @@
+//! Simulation statistics: named counters and latency histograms.
+//!
+//! Components record into a [`Stats`] registry owned by the system. Keys are
+//! `&'static str` so recording is allocation-free on the hot path; the
+//! registry is a plain `BTreeMap` so reports are stably ordered.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::clock::Duration;
+
+/// A streaming histogram of durations: count, sum, min, max, and
+/// power-of-two latency buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum_cycles: u64,
+    min_cycles: u64,
+    max_cycles: u64,
+    /// `buckets[i]` counts samples with `2^(i-1) <= cycles < 2^i`
+    /// (`buckets[0]` counts zero-cycle samples).
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        let c = d.raw();
+        if self.count == 0 {
+            self.min_cycles = c;
+            self.max_cycles = c;
+        } else {
+            self.min_cycles = self.min_cycles.min(c);
+            self.max_cycles = self.max_cycles.max(c);
+        }
+        self.count += 1;
+        self.sum_cycles += c;
+        let idx = if c == 0 {
+            0
+        } else {
+            64 - (c.leading_zeros() as usize)
+        };
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> Duration {
+        Duration::from_cycles(self.sum_cycles)
+    }
+
+    /// Mean sample, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_cycles(self.sum_cycles / self.count)
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_cycles(self.min_cycles))
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_cycles(self.max_cycles))
+    }
+
+    /// The power-of-two bucket counts (see the field docs).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min().unwrap_or(Duration::ZERO),
+            self.max().unwrap_or(Duration::ZERO),
+        )
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// # Examples
+///
+/// ```
+/// use pmemspec_engine::stats::Stats;
+/// use pmemspec_engine::clock::Duration;
+///
+/// let mut s = Stats::new();
+/// s.add("pmc.reads", 3);
+/// s.observe("pmc.read_latency", Duration::from_ns(175));
+/// assert_eq!(s.counter("pmc.reads"), 3);
+/// assert_eq!(s.histogram("pmc.read_latency").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Increments counter `key` by `n`.
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Increments counter `key` by one.
+    pub fn incr(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Reads counter `key` (zero when never written).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Records one sample into histogram `key`.
+    pub fn observe(&mut self, key: &'static str, d: Duration) {
+        self.histograms.entry(key).or_default().record(d);
+    }
+
+    /// Reads histogram `key`, if any sample was recorded.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// All counters, in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms, in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Folds another registry into this one (counters add, histograms merge
+    /// sample-by-bucket).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry(k).or_default();
+            if mine.count == 0 {
+                *mine = h.clone();
+            } else if h.count > 0 {
+                mine.min_cycles = mine.min_cycles.min(h.min_cycles);
+                mine.max_cycles = mine.max_cycles.max(h.max_cycles);
+                mine.count += h.count;
+                mine.sum_cycles += h.sum_cycles;
+                if mine.buckets.len() < h.buckets.len() {
+                    mine.buckets.resize(h.buckets.len(), 0);
+                }
+                for (i, b) in h.buckets.iter().enumerate() {
+                    mine.buckets[i] += b;
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(f, "{k}: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.incr("a");
+        s.add("a", 4);
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_cycles(4));
+        h.record(Duration::from_cycles(16));
+        h.record(Duration::from_cycles(1));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min().unwrap().raw(), 1);
+        assert_eq!(h.max().unwrap().raw(), 16);
+        assert_eq!(h.mean().raw(), 7);
+        assert_eq!(h.sum().raw(), 21);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        let mut h = Histogram::new();
+        h.record(Duration::ZERO); // bucket 0
+        h.record(Duration::from_cycles(1)); // bucket 1
+        h.record(Duration::from_cycles(2)); // bucket 2
+        h.record(Duration::from_cycles(3)); // bucket 2
+        h.record(Duration::from_cycles(4)); // bucket 3
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[3], 1);
+    }
+
+    #[test]
+    fn merge_combines_both_kinds() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        a.observe("h", Duration::from_cycles(10));
+        let mut b = Stats::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        b.observe("h", Duration::from_cycles(30));
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 3);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean().raw(), 20);
+        assert_eq!(h.max().unwrap().raw(), 30);
+    }
+
+    #[test]
+    fn merge_into_empty_clones() {
+        let mut a = Stats::new();
+        let mut b = Stats::new();
+        b.observe("h", Duration::from_cycles(8));
+        a.merge(&b);
+        assert_eq!(a.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = Stats::new();
+        s.incr("k");
+        assert!(s.to_string().contains("k = 1"));
+    }
+}

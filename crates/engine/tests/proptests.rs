@@ -1,0 +1,94 @@
+//! Property tests for the simulation kernel.
+
+use proptest::prelude::*;
+
+use pmemspec_engine::clock::{Cycle, Duration};
+use pmemspec_engine::stats::{Histogram, Stats};
+use pmemspec_engine::SimRng;
+
+proptest! {
+    /// gen_range is always in bounds and deterministic per seed.
+    #[test]
+    fn rng_range_in_bounds(seed: u64, bound in 1u64..1_000_000, draws in 1usize..50) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..draws {
+            let x = a.gen_range(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.gen_range(bound));
+        }
+    }
+
+    /// Forked streams never rejoin the parent stream.
+    #[test]
+    fn rng_fork_diverges(seed: u64) {
+        let mut parent = SimRng::seed_from_u64(seed);
+        let mut child = parent.fork();
+        let collisions = (0..32)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        prop_assert!(collisions <= 1);
+    }
+
+    /// Histogram count/sum/min/max always agree with the raw samples.
+    #[test]
+    fn histogram_summary_matches_samples(samples in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Duration::from_cycles(s));
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum().raw(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min().unwrap().raw(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max().unwrap().raw(), *samples.iter().max().unwrap());
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), samples.len() as u64);
+    }
+
+    /// Merging two stats registries equals recording everything into one.
+    #[test]
+    fn stats_merge_equals_union(
+        xs in prop::collection::vec(0u64..10_000, 0..40),
+        ys in prop::collection::vec(0u64..10_000, 0..40),
+    ) {
+        let mut a = Stats::new();
+        let mut b = Stats::new();
+        let mut whole = Stats::new();
+        for &x in &xs {
+            a.add("c", x);
+            a.observe("h", Duration::from_cycles(x));
+            whole.add("c", x);
+            whole.observe("h", Duration::from_cycles(x));
+        }
+        for &y in &ys {
+            b.add("c", y);
+            b.observe("h", Duration::from_cycles(y));
+            whole.add("c", y);
+            whole.observe("h", Duration::from_cycles(y));
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.counter("c"), whole.counter("c"));
+        let (ha, hw) = (a.histogram("h"), whole.histogram("h"));
+        match (ha, hw) {
+            (Some(ha), Some(hw)) => {
+                prop_assert_eq!(ha.count(), hw.count());
+                prop_assert_eq!(ha.sum(), hw.sum());
+                prop_assert_eq!(ha.min(), hw.min());
+                prop_assert_eq!(ha.max(), hw.max());
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "one histogram exists, the other does not"),
+        }
+    }
+
+    /// Cycle/Duration arithmetic is consistent.
+    #[test]
+    fn clock_arithmetic(base in 0u64..1_000_000_000, d1 in 0u64..1_000_000, d2 in 0u64..1_000_000) {
+        let t = Cycle::from_raw(base);
+        let a = t + Duration::from_cycles(d1) + Duration::from_cycles(d2);
+        let b = t + (Duration::from_cycles(d1) + Duration::from_cycles(d2));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a - t, Duration::from_cycles(d1 + d2));
+        prop_assert_eq!(a.saturating_since(t).raw(), d1 + d2);
+        prop_assert_eq!(t.saturating_since(a), Duration::ZERO);
+    }
+}

@@ -1,0 +1,236 @@
+//! Simulated physical addresses.
+//!
+//! The machine has a single physical address space split into two regions:
+//! DRAM below [`PM_BASE`] and persistent memory at and above it. Addresses
+//! are word (8-byte) aligned; caches operate on 64-byte lines.
+
+use std::fmt;
+
+/// Bytes per machine word. All loads and stores are word-sized.
+pub const WORD_BYTES: u64 = 8;
+
+/// Bytes per cache line, fixed across the hierarchy (Table 3).
+pub const LINE_BYTES: u64 = 64;
+
+/// First byte of the persistent-memory region.
+///
+/// Everything below is DRAM (volatile); everything at or above persists.
+pub const PM_BASE: u64 = 1 << 40;
+
+/// Which memory technology backs an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Volatile DRAM.
+    Dram,
+    /// Persistent memory.
+    Pm,
+}
+
+/// A word-aligned simulated physical address.
+///
+/// # Examples
+///
+/// ```
+/// use pmemspec_isa::addr::{Addr, MemSpace, PM_BASE};
+///
+/// let a = Addr::pm(128);
+/// assert_eq!(a.space(), MemSpace::Pm);
+/// assert_eq!(a.raw(), PM_BASE + 128);
+/// assert_eq!(a.line(), Addr::pm(128).line());
+/// assert_eq!(Addr::pm(128).line(), Addr::pm(184).line());
+/// assert_ne!(Addr::pm(128).line(), Addr::pm(192).line());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is not word aligned.
+    pub fn new(raw: u64) -> Self {
+        assert_eq!(raw % WORD_BYTES, 0, "address {raw:#x} is not word aligned");
+        Addr(raw)
+    }
+
+    /// An address `offset` bytes into the PM region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not word aligned.
+    pub fn pm(offset: u64) -> Self {
+        Addr::new(PM_BASE + offset)
+    }
+
+    /// An address `offset` bytes into the DRAM region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not word aligned or overflows into PM.
+    pub fn dram(offset: u64) -> Self {
+        assert!(offset < PM_BASE, "DRAM offset overflows into PM region");
+        Addr::new(offset)
+    }
+
+    /// The raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Which region backs this address.
+    pub const fn space(self) -> MemSpace {
+        if self.0 >= PM_BASE {
+            MemSpace::Pm
+        } else {
+            MemSpace::Dram
+        }
+    }
+
+    /// True when this address persists across power failure.
+    pub const fn is_pm(self) -> bool {
+        matches!(self.space(), MemSpace::Pm)
+    }
+
+    /// The cache line containing this address.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// The address `bytes` later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not word aligned.
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr::new(self.0 + bytes)
+    }
+
+    /// Word index within the cache line (0..8).
+    pub const fn word_in_line(self) -> usize {
+        ((self.0 % LINE_BYTES) / WORD_BYTES) as usize
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.space() {
+            MemSpace::Pm => write!(f, "pm:{:#x}", self.0 - PM_BASE),
+            MemSpace::Dram => write!(f, "dram:{:#x}", self.0),
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A cache-line-aligned address (line number, not byte address).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// The line number (byte address divided by [`LINE_BYTES`]).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of the line.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// Which region backs this line.
+    pub const fn space(self) -> MemSpace {
+        self.base().space()
+    }
+
+    /// True when the line lives in persistent memory.
+    pub const fn is_pm(self) -> bool {
+        self.base().is_pm()
+    }
+
+    /// Iterates the eight word addresses inside this line.
+    pub fn words(self) -> impl Iterator<Item = Addr> {
+        let base = self.base();
+        (0..(LINE_BYTES / WORD_BYTES)).map(move |i| base.offset(i * WORD_BYTES))
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line[{}]", self.base())
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pm_and_dram_regions() {
+        assert_eq!(Addr::pm(0).space(), MemSpace::Pm);
+        assert_eq!(Addr::dram(0).space(), MemSpace::Dram);
+        assert!(Addr::pm(64).is_pm());
+        assert!(!Addr::dram(64).is_pm());
+    }
+
+    #[test]
+    fn line_grouping() {
+        let a = Addr::pm(0);
+        let b = Addr::pm(56);
+        let c = Addr::pm(64);
+        assert_eq!(a.line(), b.line());
+        assert_ne!(a.line(), c.line());
+        assert_eq!(c.line().base(), c);
+    }
+
+    #[test]
+    fn line_words_enumerate_eight() {
+        let words: Vec<Addr> = Addr::pm(128).line().words().collect();
+        assert_eq!(words.len(), 8);
+        assert_eq!(words[0], Addr::pm(128));
+        assert_eq!(words[7], Addr::pm(184));
+    }
+
+    #[test]
+    fn word_in_line_indexing() {
+        assert_eq!(Addr::pm(0).word_in_line(), 0);
+        assert_eq!(Addr::pm(8).word_in_line(), 1);
+        assert_eq!(Addr::pm(56).word_in_line(), 7);
+        assert_eq!(Addr::pm(64).word_in_line(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_address_panics() {
+        let _ = Addr::new(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn dram_overflow_panics() {
+        let _ = Addr::dram(PM_BASE);
+    }
+
+    #[test]
+    fn line_is_pm_follows_base() {
+        assert!(Addr::pm(0).line().is_pm());
+        assert!(!Addr::dram(0).line().is_pm());
+    }
+
+    #[test]
+    fn debug_forms() {
+        assert_eq!(format!("{}", Addr::pm(16)), "pm:0x10");
+        assert_eq!(format!("{}", Addr::dram(16)), "dram:0x10");
+        assert!(format!("{}", Addr::pm(0).line()).contains("pm:0x0"));
+    }
+}

@@ -1,0 +1,36 @@
+//! The simulated "ISA" of the PMEM-Spec reproduction.
+//!
+//! Workloads are written against an **abstract persistent-program IR**
+//! ([`abs`]) that says *what* must persist in *what* order (log writes,
+//! ordering points, data writes, durability points, critical sections) but
+//! not *how*. A [`lower`] pass turns the abstract program into a concrete
+//! per-thread instruction stream ([`op::Op`]) for one of the four designs
+//! the paper evaluates:
+//!
+//! * **IntelX86-Epoch** — `CLWB` after every PM store, `SFENCE` at ordering
+//!   and durability points.
+//! * **DPO** — same instruction stream as IntelX86 (the paper runs DPO on
+//!   unmodified x86 binaries); the hardware model differs.
+//! * **HOPS** — bare PM stores with `ofence` at ordering points and
+//!   `dfence` at durability points.
+//! * **PMEM-Spec** — bare PM stores, nothing at ordering points (the
+//!   persist path is FIFO), `spec-barrier` at durability points, and
+//!   `spec-assign`/`spec-revoke` around critical sections (the paper's
+//!   compiler instrumentation).
+//! * **StrandWeaver** (extension, §9) — one strand per FASE,
+//!   `persist-barrier` at ordering points, `JoinStrand` at durability
+//!   points.
+//!
+//! This mirrors Figure 2 of the paper.
+
+pub mod abs;
+pub mod addr;
+pub mod lower;
+pub mod op;
+pub mod program;
+
+pub use abs::{AbsOp, AbsProgram, AbsThread};
+pub use addr::{Addr, MemSpace, LINE_BYTES, PM_BASE, WORD_BYTES};
+pub use lower::{lower_program, DesignKind};
+pub use op::{log_mix, FaseId, LockId, Op, ThreadId, ValueSrc};
+pub use program::{Program, ThreadProgram};

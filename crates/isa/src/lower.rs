@@ -1,0 +1,337 @@
+//! Lowering the abstract IR to per-design instruction streams (Figure 2).
+//!
+//! | Abstract op | IntelX86 / DPO | HOPS | StrandWeaver | PMEM-Spec |
+//! |---|---|---|---|---|
+//! | `LogWrite` | `st; clwb` | `st` | `st` | `st` |
+//! | `LogOrder`/`DataOrder` | `sfence` | `ofence` | `persist-barrier` | *(nothing — FIFO path)* |
+//! | `DataWrite` | `st; clwb` | `st` | `st` | `st` |
+//! | `FaseBegin` | marker | marker | marker`; new-strand` | marker |
+//! | `FaseEnd` | `sfence` | `dfence` | `join-strand` | `spec-barrier` |
+//! | `LockAcquire` | `lock` | `lock` | `lock` | `lock; spec-assign` |
+//! | `LockRelease` | `unlock` | `unlock` | `unlock` | `spec-revoke; unlock` |
+//!
+//! DPO runs the identical instruction stream as IntelX86 (the paper
+//! evaluates DPO on unmodified x86 binaries, §8.1); the two differ only in
+//! the hardware model. StrandWeaver is an extension beyond the paper's
+//! evaluated designs (§9).
+
+use crate::abs::{AbsOp, AbsProgram};
+use crate::op::Op;
+use crate::program::{Program, ThreadProgram};
+
+/// The four hardware/ISA designs the paper evaluates (§8.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DesignKind {
+    /// Epoch persistency with stock x86 `CLWB`/`SFENCE` (the baseline).
+    IntelX86,
+    /// Delegated Persist Ordering (Kolli et al., MICRO 2016): buffered
+    /// strict persistency, persist buffers in the coherence domain,
+    /// globally serialized flushes.
+    Dpo,
+    /// HOPS (Nalli et al., ASPLOS 2017): buffered epoch persistency with
+    /// `ofence`/`dfence` and a bloom filter at the PM controller.
+    Hops,
+    /// This paper's contribution: speculative strict persistency over a
+    /// decoupled persist path.
+    PmemSpec,
+    /// StrandWeaver (Gogte et al., ISCA 2020): strand persistency —
+    /// per-core strand buffers whose strands drain concurrently;
+    /// `NewStrand` severs ordering dependencies, `persist-barrier` orders
+    /// within a strand, `JoinStrand` is the durability point. The paper's
+    /// §9 comparison; an extension beyond its evaluated designs.
+    StrandWeaver,
+}
+
+impl DesignKind {
+    /// The four designs the paper evaluates (§8.1), in presentation
+    /// order.
+    pub const ALL: [DesignKind; 4] = [
+        DesignKind::IntelX86,
+        DesignKind::Dpo,
+        DesignKind::Hops,
+        DesignKind::PmemSpec,
+    ];
+
+    /// All five implemented designs, including the StrandWeaver extension.
+    pub const ALL_EXTENDED: [DesignKind; 5] = [
+        DesignKind::IntelX86,
+        DesignKind::Dpo,
+        DesignKind::Hops,
+        DesignKind::StrandWeaver,
+        DesignKind::PmemSpec,
+    ];
+
+    /// Short label used in reports and CSV headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignKind::IntelX86 => "IntelX86",
+            DesignKind::Dpo => "DPO",
+            DesignKind::Hops => "HOPS",
+            DesignKind::PmemSpec => "PMEM-Spec",
+            DesignKind::StrandWeaver => "StrandWeaver",
+        }
+    }
+
+    /// Whether a design-specific op may appear in this design's programs.
+    pub fn allows(self, op: &Op) -> bool {
+        match self {
+            DesignKind::IntelX86 | DesignKind::Dpo => {
+                matches!(op, Op::Clwb { .. } | Op::Sfence)
+            }
+            DesignKind::Hops => matches!(op, Op::Ofence | Op::Dfence),
+            DesignKind::PmemSpec => {
+                matches!(op, Op::SpecBarrier | Op::SpecAssign | Op::SpecRevoke)
+            }
+            DesignKind::StrandWeaver => {
+                matches!(op, Op::NewStrand | Op::JoinStrand | Op::StrandBarrier)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for DesignKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Lowers one thread's abstract ops for `design`.
+///
+/// On IntelX86/DPO, consecutive PM stores to one cache line share a single
+/// trailing `CLWB` (what a compiler or PM library emits); the pending CLWB
+/// is flushed before any op that leaves the line.
+fn lower_thread(design: DesignKind, abs_ops: &[AbsOp]) -> ThreadProgram {
+    let wants_clwb = matches!(design, DesignKind::IntelX86 | DesignKind::Dpo);
+    let mut ops = Vec::with_capacity(abs_ops.len() * 2);
+    let mut pending_clwb: Option<crate::addr::Addr> = None;
+    let flush = |ops: &mut Vec<Op>, pending: &mut Option<crate::addr::Addr>| {
+        if let Some(addr) = pending.take() {
+            ops.push(Op::Clwb { addr });
+        }
+    };
+    for &a in abs_ops {
+        // Any op other than a PM store to the same line closes the
+        // pending CLWB first.
+        match a {
+            AbsOp::LogWrite { addr, .. } | AbsOp::DataWrite { addr, .. }
+                if pending_clwb.is_some_and(|p| p.line() == addr.line()) => {}
+            _ => flush(&mut ops, &mut pending_clwb),
+        }
+        match a {
+            AbsOp::LogWrite { addr, value } | AbsOp::DataWrite { addr, value } => {
+                ops.push(Op::Store { addr, value });
+                if wants_clwb {
+                    pending_clwb = Some(addr);
+                }
+            }
+            AbsOp::LogOrder | AbsOp::DataOrder => match design {
+                DesignKind::IntelX86 | DesignKind::Dpo => ops.push(Op::Sfence),
+                DesignKind::Hops => ops.push(Op::Ofence),
+                DesignKind::StrandWeaver => ops.push(Op::StrandBarrier),
+                // The FIFO persist path preserves intra-thread order;
+                // nothing to emit (§4.2).
+                DesignKind::PmemSpec => {}
+            },
+            AbsOp::PmRead { addr } | AbsOp::VolatileRead { addr } => {
+                ops.push(Op::Load { addr });
+            }
+            AbsOp::VolatileWrite { addr, value } => {
+                ops.push(Op::Store { addr, value });
+            }
+            AbsOp::Compute { cycles } => ops.push(Op::Compute { cycles }),
+            AbsOp::Checkpoint => ops.push(Op::Checkpoint),
+            AbsOp::LockAcquire { lock } => {
+                ops.push(Op::Lock { lock });
+                if design == DesignKind::PmemSpec {
+                    ops.push(Op::SpecAssign);
+                }
+            }
+            AbsOp::LockRelease { lock } => {
+                if design == DesignKind::PmemSpec {
+                    ops.push(Op::SpecRevoke);
+                }
+                ops.push(Op::Unlock { lock });
+            }
+            AbsOp::FaseBegin { fase } => {
+                ops.push(Op::FaseBegin { fase });
+                if design == DesignKind::StrandWeaver {
+                    // Each FASE is its own strand: its persists carry no
+                    // dependency on the previous FASE's tail.
+                    ops.push(Op::NewStrand);
+                }
+            }
+            AbsOp::FaseEnd { fase } => {
+                match design {
+                    DesignKind::IntelX86 | DesignKind::Dpo => ops.push(Op::Sfence),
+                    DesignKind::Hops => ops.push(Op::Dfence),
+                    DesignKind::PmemSpec => ops.push(Op::SpecBarrier),
+                    DesignKind::StrandWeaver => ops.push(Op::JoinStrand),
+                }
+                ops.push(Op::FaseEnd { fase });
+            }
+        }
+    }
+    flush(&mut ops, &mut pending_clwb);
+    ThreadProgram::new(ops)
+}
+
+/// Lowers an abstract program for `design`.
+///
+/// The result always passes [`Program::validate`]; a debug assertion
+/// enforces this during development.
+///
+/// # Examples
+///
+/// ```
+/// use pmemspec_isa::{AbsThread, AbsProgram, Addr, DesignKind, lower_program};
+///
+/// let mut t = AbsThread::new();
+/// t.begin_fase();
+/// t.log_write(Addr::pm(0), 1u64).log_order().data_write(Addr::pm(64), 2u64);
+/// t.end_fase();
+/// let mut p = AbsProgram::new();
+/// p.add_thread(t);
+///
+/// let x86 = lower_program(DesignKind::IntelX86, &p);
+/// let spec = lower_program(DesignKind::PmemSpec, &p);
+/// // The x86 stream carries CLWB+SFENCE; PMEM-Spec carries neither.
+/// assert!(x86.len() > spec.len());
+/// ```
+pub fn lower_program(design: DesignKind, program: &AbsProgram) -> Program {
+    let threads = program
+        .threads()
+        .map(|ops| lower_thread(design, ops))
+        .collect();
+    let lowered = Program::new(design, threads);
+    debug_assert!(
+        lowered.validate().is_ok(),
+        "lowering produced an invalid program: {:?}",
+        lowered.validate()
+    );
+    lowered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abs::AbsThread;
+    use crate::addr::Addr;
+    use crate::op::{LockId, ValueSrc};
+
+    /// A representative FASE: lock, log, order, data, unlock, end.
+    fn sample_program() -> AbsProgram {
+        let mut t = AbsThread::new();
+        t.begin_fase();
+        t.acquire(LockId(0));
+        t.log_write(Addr::pm(0), ValueSrc::OldOf(Addr::pm(64)));
+        t.log_order();
+        t.data_write(Addr::pm(64), 9u64);
+        t.pm_read(Addr::pm(128));
+        t.release(LockId(0));
+        t.end_fase();
+        let mut p = AbsProgram::new();
+        p.add_thread(t);
+        p
+    }
+
+    fn lowered_ops(design: DesignKind) -> Vec<Op> {
+        lower_program(design, &sample_program())
+            .thread(0)
+            .ops()
+            .to_vec()
+    }
+
+    #[test]
+    fn all_lowerings_validate() {
+        for d in DesignKind::ALL {
+            assert!(
+                lower_program(d, &sample_program()).validate().is_ok(),
+                "{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn intel_emits_clwb_sfence() {
+        let ops = lowered_ops(DesignKind::IntelX86);
+        let clwbs = ops.iter().filter(|o| matches!(o, Op::Clwb { .. })).count();
+        let sfences = ops.iter().filter(|o| matches!(o, Op::Sfence)).count();
+        assert_eq!(clwbs, 2, "one CLWB per PM store");
+        assert_eq!(sfences, 2, "log-order + durability");
+        assert!(!ops
+            .iter()
+            .any(|o| matches!(o, Op::SpecBarrier | Op::Dfence)));
+    }
+
+    #[test]
+    fn dpo_streams_match_intel() {
+        assert_eq!(
+            lowered_ops(DesignKind::Dpo),
+            lowered_ops(DesignKind::IntelX86)
+        );
+    }
+
+    #[test]
+    fn hops_emits_ofence_dfence_no_clwb() {
+        let ops = lowered_ops(DesignKind::Hops);
+        assert!(ops.iter().any(|o| matches!(o, Op::Ofence)));
+        assert!(ops.iter().any(|o| matches!(o, Op::Dfence)));
+        assert!(!ops
+            .iter()
+            .any(|o| matches!(o, Op::Clwb { .. } | Op::Sfence)));
+    }
+
+    #[test]
+    fn pmemspec_emits_only_spec_barrier_and_tags() {
+        let ops = lowered_ops(DesignKind::PmemSpec);
+        assert!(!ops
+            .iter()
+            .any(|o| matches!(o, Op::Clwb { .. } | Op::Sfence | Op::Ofence | Op::Dfence)));
+        assert_eq!(
+            ops.iter().filter(|o| matches!(o, Op::SpecBarrier)).count(),
+            1
+        );
+        // spec-assign follows the lock; spec-revoke precedes the unlock.
+        let lock = ops
+            .iter()
+            .position(|o| matches!(o, Op::Lock { .. }))
+            .unwrap();
+        assert!(matches!(ops[lock + 1], Op::SpecAssign));
+        let unlock = ops
+            .iter()
+            .position(|o| matches!(o, Op::Unlock { .. }))
+            .unwrap();
+        assert!(matches!(ops[unlock - 1], Op::SpecRevoke));
+    }
+
+    #[test]
+    fn pmemspec_stream_is_shortest() {
+        let spec = lowered_ops(DesignKind::PmemSpec).len();
+        let x86 = lowered_ops(DesignKind::IntelX86).len();
+        let hops = lowered_ops(DesignKind::Hops).len();
+        // x86 carries 2 CLWBs + 1 extra fence vs HOPS' 2 fences; PMEM-Spec
+        // adds assign/revoke but drops the ordering fence entirely.
+        assert!(x86 > hops);
+        assert!(x86 > spec);
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(DesignKind::PmemSpec.label(), "PMEM-Spec");
+        assert_eq!(DesignKind::Hops.to_string(), "HOPS");
+        assert_eq!(DesignKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn allows_matrix() {
+        use DesignKind::*;
+        let clwb = Op::Clwb { addr: Addr::pm(0) };
+        assert!(IntelX86.allows(&clwb));
+        assert!(Dpo.allows(&clwb));
+        assert!(!Hops.allows(&clwb));
+        assert!(!PmemSpec.allows(&clwb));
+        assert!(Hops.allows(&Op::Dfence));
+        assert!(!Hops.allows(&Op::SpecBarrier));
+        assert!(PmemSpec.allows(&Op::SpecAssign));
+    }
+}

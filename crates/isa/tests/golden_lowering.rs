@@ -1,0 +1,148 @@
+//! Golden tests: the exact lowering of the canonical FASE (the paper's
+//! Figure 2 shape) for every design. Guards against silent changes to
+//! the instruction streams the whole evaluation rests on.
+
+use pmemspec_isa::abs::{AbsProgram, AbsThread};
+use pmemspec_isa::{lower_program, Addr, DesignKind, LockId, ValueSrc};
+
+fn canonical_fase() -> AbsProgram {
+    let data = Addr::pm(4096);
+    let log = Addr::pm(0);
+    let mut t = AbsThread::new();
+    t.begin_fase();
+    t.acquire(LockId(0));
+    t.pm_read(data);
+    t.log_write(log, ValueSrc::OldOf(data));
+    t.log_order();
+    t.data_write(data, 42u64);
+    t.data_order();
+    t.log_write(log.offset(8), 1u64);
+    t.release(LockId(0));
+    t.end_fase();
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    p
+}
+
+fn render(design: DesignKind) -> Vec<String> {
+    lower_program(design, &canonical_fase())
+        .thread(0)
+        .ops()
+        .iter()
+        .map(|op| op.to_string())
+        .collect()
+}
+
+#[test]
+fn golden_intel_x86() {
+    assert_eq!(
+        render(DesignKind::IntelX86),
+        vec![
+            "fase-begin fase0",
+            "lock lock0",
+            "ld pm:0x1000",
+            "st pm:0x0 <- OldOf(pm:0x1000)",
+            "clwb pm:0x0",
+            "sfence",
+            "st pm:0x1000 <- Imm(42)",
+            "clwb pm:0x1000",
+            "sfence",
+            "st pm:0x8 <- Imm(1)",
+            "clwb pm:0x8",
+            "unlock lock0",
+            "sfence",
+            "fase-end fase0",
+        ]
+    );
+}
+
+#[test]
+fn golden_dpo_matches_x86() {
+    assert_eq!(render(DesignKind::Dpo), render(DesignKind::IntelX86));
+}
+
+#[test]
+fn golden_hops() {
+    assert_eq!(
+        render(DesignKind::Hops),
+        vec![
+            "fase-begin fase0",
+            "lock lock0",
+            "ld pm:0x1000",
+            "st pm:0x0 <- OldOf(pm:0x1000)",
+            "ofence",
+            "st pm:0x1000 <- Imm(42)",
+            "ofence",
+            "st pm:0x8 <- Imm(1)",
+            "unlock lock0",
+            "dfence",
+            "fase-end fase0",
+        ]
+    );
+}
+
+#[test]
+fn golden_pmem_spec() {
+    assert_eq!(
+        render(DesignKind::PmemSpec),
+        vec![
+            "fase-begin fase0",
+            "lock lock0",
+            "spec-assign",
+            "ld pm:0x1000",
+            "st pm:0x0 <- OldOf(pm:0x1000)",
+            "st pm:0x1000 <- Imm(42)",
+            "st pm:0x8 <- Imm(1)",
+            "spec-revoke",
+            "unlock lock0",
+            "spec-barrier",
+            "fase-end fase0",
+        ]
+    );
+}
+
+#[test]
+fn golden_strand_weaver() {
+    assert_eq!(
+        render(DesignKind::StrandWeaver),
+        vec![
+            "fase-begin fase0",
+            "new-strand",
+            "lock lock0",
+            "ld pm:0x1000",
+            "st pm:0x0 <- OldOf(pm:0x1000)",
+            "persist-barrier",
+            "st pm:0x1000 <- Imm(42)",
+            "persist-barrier",
+            "st pm:0x8 <- Imm(1)",
+            "unlock lock0",
+            "join-strand",
+            "fase-end fase0",
+        ]
+    );
+}
+
+#[test]
+fn ordering_instruction_counts_tell_the_papers_story() {
+    // Counting the instructions that *stall or order persists* (flushes,
+    // fences, barriers — not PMEM-Spec's cheap ID tags): PMEM-Spec needs
+    // exactly one, HOPS three, x86 six.
+    let ordering = |d: DesignKind| {
+        render(d)
+            .iter()
+            .filter(|s| {
+                s.starts_with("clwb")
+                    || s.starts_with("sfence")
+                    || s.starts_with("ofence")
+                    || s.starts_with("dfence")
+                    || s.starts_with("persist-barrier")
+                    || s.starts_with("join-strand")
+                    || s.starts_with("spec-barrier")
+            })
+            .count()
+    };
+    assert_eq!(ordering(DesignKind::PmemSpec), 1);
+    assert_eq!(ordering(DesignKind::Hops), 3);
+    assert_eq!(ordering(DesignKind::StrandWeaver), 3);
+    assert_eq!(ordering(DesignKind::IntelX86), 6);
+}

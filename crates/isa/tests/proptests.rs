@@ -1,0 +1,178 @@
+//! Property tests: lowering arbitrary well-formed abstract programs
+//! always yields valid per-design instruction streams with the expected
+//! structure.
+
+use proptest::prelude::*;
+
+use pmemspec_isa::abs::{AbsOp, AbsProgram, AbsThread};
+use pmemspec_isa::{lower_program, Addr, DesignKind, LockId, Op, ValueSrc};
+
+/// One abstract action inside a FASE body, chosen by the strategy.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Log(u8),
+    LogOrder,
+    Data(u8),
+    DataOrder,
+    Read(u8),
+    Compute(u8),
+    CriticalSection(u8, u8),
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..16).prop_map(Action::Log),
+        Just(Action::LogOrder),
+        (0u8..16).prop_map(Action::Data),
+        Just(Action::DataOrder),
+        (0u8..16).prop_map(Action::Read),
+        (1u8..100).prop_map(Action::Compute),
+        ((0u8..4), (0u8..16)).prop_map(|(l, a)| Action::CriticalSection(l, a)),
+    ]
+}
+
+fn build(fases: &[Vec<Action>]) -> AbsProgram {
+    let mut t = AbsThread::new();
+    for body in fases {
+        t.begin_fase();
+        for &a in body {
+            match a {
+                Action::Log(k) => {
+                    t.log_write(Addr::pm(u64::from(k) * 8), ValueSrc::imm(u64::from(k)));
+                }
+                Action::LogOrder => {
+                    t.log_order();
+                }
+                Action::Data(k) => {
+                    t.data_write(Addr::pm(4096 + u64::from(k) * 8), 7u64);
+                }
+                Action::DataOrder => {
+                    t.data_order();
+                }
+                Action::Read(k) => {
+                    t.pm_read(Addr::pm(8192 + u64::from(k) * 8));
+                }
+                Action::Compute(c) => {
+                    t.compute(u32::from(c));
+                }
+                Action::CriticalSection(l, k) => {
+                    t.acquire(LockId(u32::from(l)));
+                    t.data_write(Addr::pm(16384 + u64::from(k) * 8), 1u64);
+                    t.release(LockId(u32::from(l)));
+                }
+            }
+        }
+        t.end_fase();
+    }
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    p
+}
+
+fn count<F: Fn(&Op) -> bool>(ops: &[Op], f: F) -> usize {
+    ops.iter().filter(|o| f(o)).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every design's lowering of every well-formed program validates.
+    #[test]
+    fn lowering_always_validates(
+        fases in prop::collection::vec(prop::collection::vec(action(), 0..12), 1..6)
+    ) {
+        let p = build(&fases);
+        for d in DesignKind::ALL {
+            let lowered = lower_program(d, &p);
+            prop_assert!(lowered.validate().is_ok(), "{d}: {:?}", lowered.validate());
+        }
+    }
+
+    /// Lowering preserves the store stream: same PM stores, same order,
+    /// same values, for every design.
+    #[test]
+    fn lowering_preserves_stores(
+        fases in prop::collection::vec(prop::collection::vec(action(), 0..12), 1..5)
+    ) {
+        let p = build(&fases);
+        let reference: Vec<(Addr, ValueSrc)> = lower_program(DesignKind::PmemSpec, &p)
+            .thread(0)
+            .ops()
+            .iter()
+            .filter_map(|o| match *o {
+                Op::Store { addr, value } => Some((addr, value)),
+                _ => None,
+            })
+            .collect();
+        for d in DesignKind::ALL {
+            let stores: Vec<(Addr, ValueSrc)> = lower_program(d, &p)
+                .thread(0)
+                .ops()
+                .iter()
+                .filter_map(|o| match *o {
+                    Op::Store { addr, value } => Some((addr, value)),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(&stores, &reference, "{}", d);
+        }
+    }
+
+    /// Design-specific structure: x86 ends every FASE with SFENCE; HOPS
+    /// with dfence; PMEM-Spec with spec-barrier; CLWB count equals the
+    /// number of distinct consecutive-line runs of PM stores.
+    #[test]
+    fn design_specific_structure(
+        fases in prop::collection::vec(prop::collection::vec(action(), 0..10), 1..4)
+    ) {
+        let p = build(&fases);
+        let n = fases.len();
+        let x86 = lower_program(DesignKind::IntelX86, &p);
+        let hops = lower_program(DesignKind::Hops, &p);
+        let spec = lower_program(DesignKind::PmemSpec, &p);
+        prop_assert!(count(x86.thread(0).ops(), |o| matches!(o, Op::Sfence)) >= n);
+        prop_assert_eq!(count(hops.thread(0).ops(), |o| matches!(o, Op::Dfence)), n);
+        prop_assert_eq!(count(spec.thread(0).ops(), |o| matches!(o, Op::SpecBarrier)), n);
+        // PMEM-Spec carries no flushes or fences at all.
+        prop_assert_eq!(
+            count(spec.thread(0).ops(), |o| matches!(
+                o,
+                Op::Clwb { .. } | Op::Sfence | Op::Ofence | Op::Dfence
+            )),
+            0
+        );
+        // spec-assign / spec-revoke pair up with lock/unlock.
+        let locks = count(spec.thread(0).ops(), |o| matches!(o, Op::Lock { .. }));
+        prop_assert_eq!(count(spec.thread(0).ops(), |o| matches!(o, Op::SpecAssign)), locks);
+        prop_assert_eq!(count(spec.thread(0).ops(), |o| matches!(o, Op::SpecRevoke)), locks);
+    }
+
+    /// Every store on IntelX86 is covered by a CLWB on its line before
+    /// the next fence.
+    #[test]
+    fn x86_stores_are_flushed_before_fences(
+        fases in prop::collection::vec(prop::collection::vec(action(), 0..10), 1..4)
+    ) {
+        let p = build(&fases);
+        let x86 = lower_program(DesignKind::IntelX86, &p);
+        let mut dirty: Vec<Addr> = Vec::new();
+        for op in x86.thread(0).ops() {
+            match *op {
+                Op::Store { addr, .. } if addr.is_pm() => {
+                    if !dirty.iter().any(|d| d.line() == addr.line()) {
+                        dirty.push(addr);
+                    }
+                }
+                Op::Clwb { addr } => dirty.retain(|d| d.line() != addr.line()),
+                Op::Sfence => {
+                    prop_assert!(
+                        dirty.is_empty(),
+                        "SFENCE with unflushed PM lines: {dirty:?}"
+                    );
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(dirty.is_empty(), "program ends with unflushed PM lines");
+    }
+}

@@ -1,0 +1,276 @@
+//! A set-associative tag array with true-LRU replacement.
+//!
+//! Used for both the private L1 data caches and the shared LLC. The array
+//! tracks tags and dirty bits only — data values live in the global
+//! [`crate::image::MemoryImage`], which is kept coherent by construction.
+
+use pmemspec_isa::addr::LineAddr;
+
+/// One resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    line: LineAddr,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// The outcome of inserting a line into the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inserted {
+    /// A line that had to leave to make room, with its dirty bit.
+    pub victim: Option<(LineAddr, bool)>,
+}
+
+/// A set-associative cache tag array.
+///
+/// # Examples
+///
+/// ```
+/// use pmemspec_mem::cache::SetAssocCache;
+/// use pmemspec_isa::Addr;
+///
+/// let mut c = SetAssocCache::new(4, 2); // 4 sets, 2 ways
+/// let line = Addr::pm(0).line();
+/// assert!(!c.contains(line));
+/// c.insert(line, false);
+/// assert!(c.contains(line));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    tick: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an array with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "cache needs at least one way");
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            tick: 0,
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.sets.len() - 1)
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// True when the line is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let s = self.set_index(line);
+        self.sets[s].iter().any(|w| w.line == line)
+    }
+
+    /// True when the line is resident and dirty.
+    pub fn is_dirty(&self, line: LineAddr) -> bool {
+        let s = self.set_index(line);
+        self.sets[s].iter().any(|w| w.line == line && w.dirty)
+    }
+
+    /// Marks a hit: refreshes LRU and optionally sets the dirty bit.
+    ///
+    /// Returns false when the line is not resident (no state change).
+    pub fn touch(&mut self, line: LineAddr, write: bool) -> bool {
+        let s = self.set_index(line);
+        let tick = self.bump();
+        if let Some(w) = self.sets[s].iter_mut().find(|w| w.line == line) {
+            w.lru = tick;
+            if write {
+                w.dirty = true;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Installs a (missing) line, evicting the LRU way if the set is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident — callers must use
+    /// [`SetAssocCache::touch`] for hits so LRU state stays sound.
+    pub fn insert(&mut self, line: LineAddr, dirty: bool) -> Inserted {
+        assert!(!self.contains(line), "inserting resident line {line}");
+        let s = self.set_index(line);
+        let tick = self.bump();
+        let victim = if self.sets[s].len() == self.ways {
+            let (idx, _) = self.sets[s]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .expect("full set is non-empty");
+            let v = self.sets[s].swap_remove(idx);
+            Some((v.line, v.dirty))
+        } else {
+            None
+        };
+        self.sets[s].push(Way {
+            line,
+            dirty,
+            lru: tick,
+        });
+        Inserted { victim }
+    }
+
+    /// Removes a line (coherence invalidation), returning whether it was
+    /// resident and dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let s = self.set_index(line);
+        let idx = self.sets[s].iter().position(|w| w.line == line)?;
+        let w = self.sets[s].swap_remove(idx);
+        Some(w.dirty)
+    }
+
+    /// Clears the dirty bit (after a writeback that keeps the line), e.g.
+    /// `CLWB` semantics. Returns false when not resident.
+    pub fn clean(&mut self, line: LineAddr) -> bool {
+        let s = self.set_index(line);
+        if let Some(w) = self.sets[s].iter_mut().find(|w| w.line == line) {
+            w.dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates all resident lines with their dirty bits.
+    pub fn lines(&self) -> impl Iterator<Item = (LineAddr, bool)> + '_ {
+        self.sets.iter().flatten().map(|w| (w.line, w.dirty))
+    }
+
+    /// Drops everything (power-failure simulation).
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_isa::Addr;
+
+    /// Lines that map to the same set of a 4-set cache: stride 4 lines.
+    fn line(i: u64) -> LineAddr {
+        Addr::pm(i * 4 * 64).line()
+    }
+
+    #[test]
+    fn insert_then_hit() {
+        let mut c = SetAssocCache::new(4, 2);
+        let l = line(0);
+        assert_eq!(c.insert(l, false).victim, None);
+        assert!(c.contains(l));
+        assert!(c.touch(l, false));
+        assert!(!c.is_dirty(l));
+        assert!(c.touch(l, true));
+        assert!(c.is_dirty(l));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.insert(line(0), false);
+        c.insert(line(1), true);
+        c.touch(line(0), false); // line 0 is now MRU
+        let out = c.insert(line(2), false);
+        assert_eq!(
+            out.victim,
+            Some((line(1), true)),
+            "LRU (line 1) evicted dirty"
+        );
+        assert!(c.contains(line(0)));
+        assert!(c.contains(line(2)));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.insert(line(0), true);
+        c.insert(line(1), false);
+        assert_eq!(c.invalidate(line(0)), Some(true));
+        assert_eq!(c.invalidate(line(1)), Some(false));
+        assert_eq!(c.invalidate(line(2)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clean_clears_dirty_bit() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.insert(line(0), true);
+        assert!(c.clean(line(0)));
+        assert!(!c.is_dirty(line(0)));
+        assert!(c.contains(line(0)), "clean keeps the line resident");
+        assert!(!c.clean(line(1)));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = SetAssocCache::new(4, 1);
+        // Four consecutive lines land in four different sets.
+        for i in 0..4u64 {
+            let l = Addr::pm(i * 64).line();
+            assert_eq!(c.insert(l, false).victim, None);
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.insert(line(0), true);
+        c.insert(line(1), false);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.contains(line(0)));
+    }
+
+    #[test]
+    fn lines_iterator_reports_dirty_bits() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.insert(line(0), true);
+        c.insert(line(1), false);
+        let mut all: Vec<_> = c.lines().collect();
+        all.sort_by_key(|(l, _)| l.raw());
+        assert_eq!(all, vec![(line(0), true), (line(1), false)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "resident")]
+    fn double_insert_panics() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.insert(line(0), false);
+        c.insert(line(0), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_panics() {
+        let _ = SetAssocCache::new(3, 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! DRAM timing for the volatile region.
+//!
+//! The paper's evaluation focuses on PM; DRAM backs the workloads' volatile
+//! metadata (indexes, locks' cache lines, run-time bookkeeping). We model
+//! it as a single service port with a 60 ns access latency and modest
+//! bandwidth — precise DRAM bank modelling would not change any of the
+//! paper's comparisons, which differ only in how PM stores are ordered.
+
+use pmemspec_engine::clock::Cycle;
+use pmemspec_engine::config::DramConfig;
+
+use crate::pmc::{Service, ServicePort};
+
+/// The volatile memory device behind the LLC.
+///
+/// # Examples
+///
+/// ```
+/// use pmemspec_mem::Dram;
+/// use pmemspec_engine::{SimConfig, Cycle};
+///
+/// let cfg = SimConfig::asplos21(8);
+/// let mut dram = Dram::new(&cfg.dram);
+/// let s = dram.access(Cycle::ZERO);
+/// assert_eq!(s.done.as_ns(), 60);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    port: ServicePort,
+}
+
+impl Dram {
+    /// Creates the device from its configuration.
+    pub fn new(cfg: &DramConfig) -> Self {
+        Dram {
+            // 64 outstanding accesses — deep enough that the bound never
+            // dominates; the gap models bandwidth.
+            port: ServicePort::new(cfg.latency, cfg.gap, 64),
+        }
+    }
+
+    /// Services a line read or write arriving at `now`.
+    pub fn access(&mut self, now: Cycle) -> Service {
+        self.port.request(now)
+    }
+
+    /// Total accesses serviced.
+    pub fn accesses(&self) -> u64 {
+        self.port.served()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_engine::SimConfig;
+
+    #[test]
+    fn latency_and_bandwidth() {
+        let mut d = Dram::new(&SimConfig::asplos21(8).dram);
+        let a = d.access(Cycle::ZERO);
+        let b = d.access(Cycle::ZERO);
+        assert_eq!(a.done.as_ns(), 60);
+        assert_eq!((b.done - a.done).as_ns(), 4, "gap spaces services");
+        assert_eq!(d.accesses(), 2);
+    }
+}

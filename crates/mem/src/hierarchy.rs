@@ -1,0 +1,871 @@
+//! The coherent two-level cache hierarchy.
+//!
+//! * One private, write-back, write-allocate L1 data cache per core
+//!   (64 KB / 4-way / 2 ns — Table 3).
+//! * One shared, inclusive LLC (16 MB / 16-way / 20 ns).
+//! * A directory at the LLC tracks which L1s hold each line and which (if
+//!   any) holds it modified, implementing MSI-style invalidation
+//!   coherence. Writes invalidate peer copies; reads of a peer's modified
+//!   line force a writeback into the LLC and downgrade the owner.
+//!
+//! The hierarchy is *policy-free about persistence*: it reports dirty
+//! PM-line evictions from the LLC and PM fetches to the caller, and the
+//! per-design logic in the `pmem-spec` crate decides whether an eviction
+//! writes the PM device (IntelX86), is dropped (DPO/HOPS), or is dropped
+//! with an address-only WriteBack notification to the speculation buffer
+//! (PMEM-Spec).
+
+use std::collections::HashMap;
+
+use pmemspec_engine::clock::{Cycle, Duration};
+use pmemspec_engine::config::SimConfig;
+use pmemspec_isa::addr::LineAddr;
+
+use crate::cache::SetAssocCache;
+use crate::dram::Dram;
+use crate::pmc::{controller_for, PmController, Service};
+
+/// Read or write access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load (or an instruction fetch — not modelled separately).
+    Read,
+    /// A store (write-allocate: misses fetch the line first).
+    Write,
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// The requesting core's own L1.
+    L1,
+    /// A peer L1 holding the line modified (via the LLC).
+    PeerL1,
+    /// The shared LLC.
+    Llc,
+    /// Volatile memory.
+    Dram,
+    /// The PM device, through the PM controller.
+    Pm,
+}
+
+/// Timing of a fetch that reached the PM controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmFetch {
+    /// When the read request arrived at the PM controller (the `Read`
+    /// input of the misspeculation automata observes this instant).
+    pub arrival: Cycle,
+    /// When the device produced the data.
+    pub done: Cycle,
+}
+
+/// A dirty PM line pushed out of the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// When it left the LLC (add the LLC→PMC latency for controller
+    /// arrival).
+    pub at: Cycle,
+}
+
+/// The result of one load/store access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// When the access completed from the core's perspective.
+    pub completed: Cycle,
+    /// Which level satisfied it.
+    pub served_from: ServedFrom,
+    /// Set when the access fetched a line from PM (loads *and*
+    /// write-allocate store misses — the latter matter for the
+    /// fetch-based-detection ablation, Figure 4).
+    pub pm_fetch: Option<PmFetch>,
+    /// Dirty PM lines the LLC evicted to make room.
+    pub dirty_pm_evictions: Vec<EvictedLine>,
+}
+
+/// The result of a `CLWB`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClwbOutcome {
+    /// When the CLWB retires (data accepted by the ADR domain, or
+    /// immediately when the line was already clean).
+    pub completed: Cycle,
+    /// The PM write it generated, if the line was dirty anywhere.
+    pub pm_write: Option<Service>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    /// Bitmask of cores whose L1 holds the line.
+    sharers: u64,
+    /// The core holding it modified, if any (implies `sharers` contains
+    /// exactly that core).
+    owner: Option<u8>,
+}
+
+/// The coherent hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    dir: HashMap<LineAddr, DirEntry>,
+    l1_hit: Duration,
+    llc_hit: Duration,
+    llc_to_mem: Duration,
+    /// Extra per-access latency on the L1↔LLC bus (HOPS pays +1 cycle for
+    /// the sticky-M bit, §8.2.2). Zero for every other design.
+    bus_penalty: Duration,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SimConfig::validate`]) or has more than 64 cores.
+    pub fn new(cfg: &SimConfig) -> Self {
+        cfg.validate().expect("invalid configuration");
+        assert!(cfg.cores <= 64, "directory mask supports up to 64 cores");
+        CacheHierarchy {
+            l1: (0..cfg.cores)
+                .map(|_| SetAssocCache::new(cfg.l1.sets(), cfg.l1.ways))
+                .collect(),
+            llc: SetAssocCache::new(cfg.llc.sets(), cfg.llc.ways),
+            dir: HashMap::new(),
+            l1_hit: cfg.l1.hit_latency,
+            llc_hit: cfg.llc.hit_latency,
+            llc_to_mem: cfg.llc_to_pmc_latency,
+            bus_penalty: Duration::ZERO,
+        }
+    }
+
+    /// Adds a fixed per-L1↔LLC-transfer penalty (HOPS' sticky-M bit).
+    pub fn with_bus_penalty(mut self, penalty: Duration) -> Self {
+        self.bus_penalty = penalty;
+        self
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    fn dir_remove_sharer(&mut self, line: LineAddr, core: usize) {
+        if let Some(e) = self.dir.get_mut(&line) {
+            e.sharers &= !(1u64 << core);
+            if e.owner == Some(core as u8) {
+                e.owner = None;
+            }
+            if e.sharers == 0 {
+                self.dir.remove(&line);
+            }
+        }
+    }
+
+    /// Invalidates every L1 copy of `line` except `keep`'s, returning
+    /// whether any invalidated copy was dirty.
+    fn invalidate_peers(&mut self, line: LineAddr, keep: Option<usize>) -> bool {
+        let Some(e) = self.dir.get(&line).copied() else {
+            return false;
+        };
+        let mut any_dirty = false;
+        for core in 0..self.l1.len() {
+            if keep == Some(core) {
+                continue;
+            }
+            if e.sharers & (1u64 << core) != 0 {
+                if let Some(dirty) = self.l1[core].invalidate(line) {
+                    any_dirty |= dirty;
+                }
+            }
+        }
+        let keep_mask = keep.map(|c| 1u64 << c).unwrap_or(0) & e.sharers;
+        if keep_mask == 0 {
+            self.dir.remove(&line);
+        } else {
+            let entry = self.dir.get_mut(&line).expect("entry existed");
+            entry.sharers = keep_mask;
+            entry.owner = None;
+        }
+        any_dirty
+    }
+
+    /// Installs `line` into `core`'s L1, handling the victim.
+    fn install_l1(&mut self, core: usize, line: LineAddr, dirty: bool) {
+        let out = self.l1[core].insert(line, dirty);
+        if let Some((victim, victim_dirty)) = out.victim {
+            self.dir_remove_sharer(victim, core);
+            if victim_dirty {
+                // Inclusive hierarchy: the LLC holds the victim; absorb the
+                // dirty data there.
+                if !self.llc.touch(victim, true) {
+                    // The LLC lost the line in a race with its own
+                    // eviction; treat as freshly dirty.
+                    self.llc.insert(victim, true);
+                }
+            }
+        }
+        let entry = self.dir.entry(line).or_default();
+        entry.sharers |= 1u64 << core;
+        entry.owner = if dirty { Some(core as u8) } else { None };
+    }
+
+    /// Installs `line` into the LLC, returning any dirty PM eviction.
+    fn install_llc(&mut self, line: LineAddr, at: Cycle) -> Option<EvictedLine> {
+        let out = self.llc.insert(line, false);
+        let (victim, mut victim_dirty) = out.victim?;
+        // Inclusivity: pull the victim out of every L1 first; a dirty L1
+        // copy makes the eviction dirty regardless of the LLC bit.
+        victim_dirty |= self.invalidate_peers(victim, None);
+        if victim.is_pm() && victim_dirty {
+            Some(EvictedLine { line: victim, at })
+        } else {
+            // Dirty DRAM victims write back to DRAM; that bandwidth is
+            // negligible and not modelled.
+            None
+        }
+    }
+
+    /// Performs a load or store to `line` by `core` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(
+        &mut self,
+        core: usize,
+        kind: AccessKind,
+        line: LineAddr,
+        now: Cycle,
+        pmcs: &mut [PmController],
+        dram: &mut Dram,
+    ) -> AccessOutcome {
+        assert!(core < self.l1.len(), "core {core} out of range");
+        let mut evictions = Vec::new();
+        let write = matches!(kind, AccessKind::Write);
+
+        // 1. Own-L1 hit.
+        if self.l1[core].contains(line) {
+            let entry = self.dir.get(&line).copied().unwrap_or_default();
+            let others = entry.sharers & !(1u64 << core);
+            let completed = if write && others != 0 {
+                // Upgrade: invalidate peer copies via the directory.
+                self.invalidate_peers(line, Some(core));
+                now + self.l1_hit + self.llc_hit + self.bus_penalty
+            } else {
+                now + self.l1_hit
+            };
+            self.l1[core].touch(line, write);
+            if write {
+                let e = self.dir.entry(line).or_default();
+                e.sharers = 1u64 << core;
+                e.owner = Some(core as u8);
+            }
+            return AccessOutcome {
+                completed,
+                served_from: ServedFrom::L1,
+                pm_fetch: None,
+                dirty_pm_evictions: evictions,
+            };
+        }
+
+        // 2. A peer holds it modified: forward through the LLC.
+        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        if let Some(owner) = entry.owner {
+            let owner = owner as usize;
+            debug_assert_ne!(owner, core, "own-L1 hit handled above");
+            // Cache-to-cache forwarding through the shared level: an LLC
+            // access plus a short forward hop (dirty data moves directly,
+            // it does not take two full LLC round trips).
+            let completed = now + self.l1_hit + self.llc_hit + self.bus_penalty * 2;
+            if write {
+                self.l1[owner].invalidate(line);
+                self.dir.remove(&line);
+                // The modified data lands in the LLC on the way.
+                if !self.llc.touch(line, true) {
+                    self.llc.insert(line, true);
+                }
+                self.install_l1(core, line, true);
+            } else {
+                // Downgrade the owner to shared; LLC absorbs the dirty data.
+                self.l1[owner].clean(line);
+                if !self.llc.touch(line, true) {
+                    self.llc.insert(line, true);
+                }
+                if let Some(e) = self.dir.get_mut(&line) {
+                    e.owner = None;
+                }
+                self.install_l1(core, line, false);
+            }
+            return AccessOutcome {
+                completed,
+                served_from: ServedFrom::PeerL1,
+                pm_fetch: None,
+                dirty_pm_evictions: evictions,
+            };
+        }
+
+        // 3. LLC hit.
+        if self.llc.contains(line) {
+            let completed = now + self.l1_hit + self.llc_hit + self.bus_penalty;
+            if write {
+                self.invalidate_peers(line, None);
+            }
+            self.llc.touch(line, write && false); // LLC dirtiness tracks data newer than memory; a new L1-dirty copy keeps LLC bit unchanged.
+            self.install_l1(core, line, write);
+            return AccessOutcome {
+                completed,
+                served_from: ServedFrom::Llc,
+                pm_fetch: None,
+                dirty_pm_evictions: evictions,
+            };
+        }
+
+        // 4. Memory fetch (write-allocate for stores).
+        let mem_arrival = now + self.l1_hit + self.llc_hit + self.bus_penalty + self.llc_to_mem;
+        let (data_ready, served_from, pm_fetch) = if line.is_pm() {
+            let pmc = &mut pmcs[controller_for(line.raw(), pmcs.len())];
+            let svc = pmc.read(mem_arrival);
+            (
+                svc.done + self.llc_to_mem,
+                ServedFrom::Pm,
+                Some(PmFetch {
+                    arrival: svc.accepted,
+                    done: svc.done,
+                }),
+            )
+        } else {
+            let svc = dram.access(mem_arrival);
+            (svc.done + self.llc_to_mem, ServedFrom::Dram, None)
+        };
+        if write {
+            self.invalidate_peers(line, None);
+        }
+        if let Some(ev) = self.install_llc(line, now + self.l1_hit + self.llc_hit) {
+            evictions.push(ev);
+        }
+        self.install_l1(core, line, write);
+        AccessOutcome {
+            completed: data_ready,
+            served_from,
+            pm_fetch,
+            dirty_pm_evictions: evictions,
+        }
+    }
+
+    /// Executes a `CLWB` of `line` issued by `core` at `now`: if the line
+    /// is dirty anywhere in the hierarchy, its current data is written
+    /// toward the PM controller and every cached copy becomes clean (the
+    /// line stays resident, per CLWB semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not in PM.
+    pub fn clwb(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        now: Cycle,
+        pmcs: &mut [PmController],
+    ) -> ClwbOutcome {
+        assert!(line.is_pm(), "CLWB of non-PM line {line}");
+        assert!(core < self.l1.len(), "core {core} out of range");
+        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        let dirty_somewhere = entry.owner.is_some() || self.llc.is_dirty(line);
+        if !dirty_somewhere {
+            // Lookup cost only.
+            return ClwbOutcome {
+                completed: now + self.l1_hit,
+                pm_write: None,
+            };
+        }
+        if let Some(owner) = entry.owner {
+            self.l1[owner as usize].clean(line);
+            if let Some(e) = self.dir.get_mut(&line) {
+                e.owner = None;
+            }
+        }
+        self.llc.clean(line);
+        // The writeback data traverses the hierarchy (L1 → LLC → PMC);
+        // the completion notice returns over the direct 11 ns route.
+        let arrival = now + self.l1_hit + self.llc_hit + self.llc_to_mem;
+        let svc = pmcs[controller_for(line.raw(), pmcs.len())].write(arrival);
+        ClwbOutcome {
+            completed: svc.accepted,
+            pm_write: Some(svc),
+        }
+    }
+
+    /// Verifies the structural invariants the timing model relies on:
+    ///
+    /// * every directory entry's sharers actually hold the line in their
+    ///   L1, and every L1-resident line has a directory entry;
+    /// * an owner is a sharer, is unique, and its copy is dirty;
+    /// * inclusivity: every L1-resident line is also LLC-resident.
+    ///
+    /// Called from tests and (cheaply samplable) debug builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn check_invariants(&self) {
+        for (line, e) in &self.dir {
+            assert!(e.sharers != 0, "directory entry for {line} with no sharers");
+            for core in 0..self.l1.len() {
+                if e.sharers & (1u64 << core) != 0 {
+                    assert!(
+                        self.l1[core].contains(*line),
+                        "directory says core {core} shares {line}, L1 disagrees"
+                    );
+                }
+            }
+            if let Some(owner) = e.owner {
+                let owner = owner as usize;
+                assert_eq!(
+                    e.sharers,
+                    1u64 << owner,
+                    "owner of {line} must be the only sharer"
+                );
+                assert!(
+                    self.l1[owner].is_dirty(*line),
+                    "owner's copy of {line} must be dirty"
+                );
+            }
+        }
+        for (core, l1) in self.l1.iter().enumerate() {
+            for (line, dirty) in l1.lines() {
+                let e = self
+                    .dir
+                    .get(&line)
+                    .unwrap_or_else(|| panic!("L1 {core} holds {line} with no directory entry"));
+                assert!(
+                    e.sharers & (1u64 << core) != 0,
+                    "L1 {core} holds {line} but is not a registered sharer"
+                );
+                if dirty {
+                    assert_eq!(
+                        e.owner,
+                        Some(core as u8),
+                        "dirty copy of {line} without ownership"
+                    );
+                }
+                assert!(
+                    self.llc.contains(line),
+                    "inclusivity violated: {line} in L1 {core} but not in the LLC"
+                );
+            }
+        }
+    }
+
+    /// True when any L1 holds the line (test/diagnostic helper).
+    pub fn in_any_l1(&self, line: LineAddr) -> bool {
+        self.dir.get(&line).is_some_and(|e| e.sharers != 0)
+    }
+
+    /// True when the LLC holds the line (test/diagnostic helper).
+    pub fn in_llc(&self, line: LineAddr) -> bool {
+        self.llc.contains(line)
+    }
+
+    /// The core holding the line modified, if any (test helper).
+    pub fn owner(&self, line: LineAddr) -> Option<usize> {
+        self.dir.get(&line).and_then(|e| e.owner).map(usize::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_engine::SimConfig;
+    use pmemspec_isa::Addr;
+
+    fn small_cfg() -> SimConfig {
+        let mut cfg = SimConfig::asplos21(2);
+        // Tiny caches so eviction paths are exercised.
+        cfg.l1.size_bytes = 512; // 8 lines, 4-way => 2 sets
+        cfg.llc.size_bytes = 2048; // 32 lines, 16-way => 2 sets
+        cfg
+    }
+
+    fn setup() -> (CacheHierarchy, PmController, Dram) {
+        let cfg = small_cfg();
+        (
+            CacheHierarchy::new(&cfg),
+            PmController::new(&cfg.pm),
+            Dram::new(&cfg.dram),
+        )
+    }
+
+    fn pm_line(i: u64) -> LineAddr {
+        Addr::pm(i * 64).line()
+    }
+
+    #[test]
+    fn cold_pm_read_goes_to_device() {
+        let (mut h, mut pmc, mut dram) = setup();
+        let out = h.access(
+            0,
+            AccessKind::Read,
+            pm_line(0),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        assert_eq!(out.served_from, ServedFrom::Pm);
+        let fetch = out.pm_fetch.expect("fetched from PM");
+        // l1 (2) + llc (20) + llc->pmc (9) = 31 ns arrival, +175 read.
+        assert_eq!(fetch.arrival.as_ns(), 31);
+        assert_eq!(fetch.done.as_ns(), 206);
+        assert_eq!(out.completed.as_ns(), 215);
+        assert!(h.in_any_l1(pm_line(0)));
+        assert!(h.in_llc(pm_line(0)));
+    }
+
+    #[test]
+    fn warm_read_hits_l1() {
+        let (mut h, mut pmc, mut dram) = setup();
+        h.access(
+            0,
+            AccessKind::Read,
+            pm_line(0),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        let t = Cycle::from_ns(1000);
+        let out = h.access(
+            0,
+            AccessKind::Read,
+            pm_line(0),
+            t,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        assert_eq!(out.served_from, ServedFrom::L1);
+        assert_eq!((out.completed - t).as_ns(), 2);
+        assert_eq!(pmc.reads(), 1, "no second device read");
+    }
+
+    #[test]
+    fn store_miss_write_allocates_from_pm() {
+        let (mut h, mut pmc, mut dram) = setup();
+        let out = h.access(
+            0,
+            AccessKind::Write,
+            pm_line(3),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        assert_eq!(out.served_from, ServedFrom::Pm);
+        assert!(out.pm_fetch.is_some(), "write-allocate fetches the line");
+        assert_eq!(h.owner(pm_line(3)), Some(0));
+    }
+
+    #[test]
+    fn peer_read_downgrades_owner() {
+        let (mut h, mut pmc, mut dram) = setup();
+        h.access(
+            0,
+            AccessKind::Write,
+            pm_line(1),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        assert_eq!(h.owner(pm_line(1)), Some(0));
+        let out = h.access(
+            1,
+            AccessKind::Read,
+            pm_line(1),
+            Cycle::from_ns(500),
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        assert_eq!(out.served_from, ServedFrom::PeerL1);
+        assert_eq!(h.owner(pm_line(1)), None, "owner downgraded to shared");
+        assert!(h.in_any_l1(pm_line(1)));
+    }
+
+    #[test]
+    fn peer_write_invalidates_owner() {
+        let (mut h, mut pmc, mut dram) = setup();
+        h.access(
+            0,
+            AccessKind::Write,
+            pm_line(1),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        let out = h.access(
+            1,
+            AccessKind::Write,
+            pm_line(1),
+            Cycle::from_ns(500),
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        assert_eq!(out.served_from, ServedFrom::PeerL1);
+        assert_eq!(h.owner(pm_line(1)), Some(1), "ownership migrated");
+    }
+
+    #[test]
+    fn write_to_shared_line_upgrades() {
+        let (mut h, mut pmc, mut dram) = setup();
+        h.access(
+            0,
+            AccessKind::Read,
+            pm_line(1),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        h.access(
+            1,
+            AccessKind::Read,
+            pm_line(1),
+            Cycle::from_ns(300),
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        let t = Cycle::from_ns(1000);
+        let out = h.access(
+            0,
+            AccessKind::Write,
+            pm_line(1),
+            t,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        assert_eq!(out.served_from, ServedFrom::L1);
+        // Upgrade pays the directory round trip (l1 + llc).
+        assert_eq!((out.completed - t).as_ns(), 22);
+        assert_eq!(h.owner(pm_line(1)), Some(0));
+    }
+
+    #[test]
+    fn dirty_llc_eviction_is_reported() {
+        let (mut h, mut pmc, mut dram) = setup();
+        // Dirty one line, then stream enough same-set lines through the
+        // 2-set/16-way LLC to push it out. Even-numbered lines share set 0.
+        h.access(
+            0,
+            AccessKind::Write,
+            pm_line(0),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        let mut evicted = Vec::new();
+        for i in 1..=40u64 {
+            let out = h.access(
+                0,
+                AccessKind::Read,
+                pm_line(i * 2),
+                Cycle::from_ns(100 * i),
+                std::slice::from_mut(&mut pmc),
+                &mut dram,
+            );
+            evicted.extend(out.dirty_pm_evictions);
+        }
+        assert!(
+            evicted.iter().any(|e| e.line == pm_line(0)),
+            "the dirty line must eventually be evicted: {evicted:?}"
+        );
+        assert!(
+            !h.in_any_l1(pm_line(0)),
+            "inclusive eviction removed the L1 copy"
+        );
+    }
+
+    #[test]
+    fn clean_evictions_are_silent() {
+        let (mut h, mut pmc, mut dram) = setup();
+        for i in 0..40u64 {
+            let out = h.access(
+                0,
+                AccessKind::Read,
+                pm_line(i),
+                Cycle::from_ns(100 * i),
+                std::slice::from_mut(&mut pmc),
+                &mut dram,
+            );
+            assert!(
+                out.dirty_pm_evictions.is_empty(),
+                "clean lines leave silently"
+            );
+        }
+    }
+
+    #[test]
+    fn clwb_writes_back_dirty_line_and_cleans() {
+        let (mut h, mut pmc, mut dram) = setup();
+        h.access(
+            0,
+            AccessKind::Write,
+            pm_line(0),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        let t = Cycle::from_ns(1000);
+        let out = h.clwb(0, pm_line(0), t, std::slice::from_mut(&mut pmc));
+        let svc = out.pm_write.expect("dirty line written back");
+        assert_eq!((svc.accepted - t).as_ns(), 31, "L1→LLC→PMC traversal");
+        assert_eq!(
+            out.completed, svc.accepted,
+            "CLWB retires at ADR acceptance"
+        );
+        assert_eq!(h.owner(pm_line(0)), None);
+        assert!(h.in_any_l1(pm_line(0)), "CLWB keeps the line resident");
+        // A second CLWB finds it clean.
+        let again = h.clwb(
+            0,
+            pm_line(0),
+            t + Duration::from_ns(100),
+            std::slice::from_mut(&mut pmc),
+        );
+        assert!(again.pm_write.is_none());
+    }
+
+    #[test]
+    fn clwb_of_clean_line_is_cheap() {
+        let (mut h, mut pmc, mut dram) = setup();
+        h.access(
+            0,
+            AccessKind::Read,
+            pm_line(0),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        let t = Cycle::from_ns(500);
+        let out = h.clwb(0, pm_line(0), t, std::slice::from_mut(&mut pmc));
+        assert!(out.pm_write.is_none());
+        assert_eq!((out.completed - t).as_ns(), 2);
+    }
+
+    #[test]
+    fn dram_access_uses_dram_device() {
+        let (mut h, mut pmc, mut dram) = setup();
+        let line = Addr::dram(0).line();
+        let out = h.access(
+            0,
+            AccessKind::Read,
+            line,
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        assert_eq!(out.served_from, ServedFrom::Dram);
+        assert!(out.pm_fetch.is_none());
+        assert_eq!(pmc.reads(), 0);
+        assert_eq!(dram.accesses(), 1);
+    }
+
+    #[test]
+    fn bus_penalty_inflates_llc_transfers() {
+        let cfg = small_cfg();
+        let mut h = CacheHierarchy::new(&cfg).with_bus_penalty(Duration::from_cycles(1));
+        let mut pmc = PmController::new(&cfg.pm);
+        let mut dram = Dram::new(&cfg.dram);
+        h.access(
+            0,
+            AccessKind::Read,
+            pm_line(0),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        // LLC hit from the other core pays the penalty.
+        let t = Cycle::from_ns(1000);
+        let out = h.access(
+            1,
+            AccessKind::Read,
+            pm_line(0),
+            t,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        assert_eq!(out.served_from, ServedFrom::Llc);
+        assert_eq!((out.completed - t).raw(), 44 + 1);
+    }
+
+    #[test]
+    fn clwb_from_another_core_flushes_the_owners_copy() {
+        // CLWB targets an address, not a cache: if core 0 holds the line
+        // modified, a CLWB issued by core 1 still writes it back.
+        let (mut h, mut pmc, mut dram) = setup();
+        h.access(
+            0,
+            AccessKind::Write,
+            pm_line(0),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        assert_eq!(h.owner(pm_line(0)), Some(0));
+        let out = h.clwb(
+            1,
+            pm_line(0),
+            Cycle::from_ns(500),
+            std::slice::from_mut(&mut pmc),
+        );
+        assert!(out.pm_write.is_some(), "the dirty copy must flush");
+        assert_eq!(h.owner(pm_line(0)), None);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn llc_dirty_line_flushes_via_clwb_after_l1_eviction() {
+        // Dirty data that migrated to the LLC (L1 victim) is still
+        // flushable by CLWB.
+        let (mut h, mut pmc, mut dram) = setup();
+        h.access(
+            0,
+            AccessKind::Write,
+            pm_line(0),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+        // Evict it from the tiny 2-set/4-way L1 with same-set fills.
+        // L1: 512B/4-way/64B lines => 2 sets; even lines share set 0.
+        for i in 1..=4u64 {
+            h.access(
+                0,
+                AccessKind::Read,
+                pm_line(i * 2),
+                Cycle::from_ns(100 * i),
+                std::slice::from_mut(&mut pmc),
+                &mut dram,
+            );
+        }
+        assert!(!h.in_any_l1(pm_line(0)), "L1 victimized");
+        assert!(h.in_llc(pm_line(0)), "inclusive LLC keeps it (dirty)");
+        let out = h.clwb(
+            0,
+            pm_line(0),
+            Cycle::from_ns(1000),
+            std::slice::from_mut(&mut pmc),
+        );
+        assert!(out.pm_write.is_some(), "LLC-dirty line flushed");
+        h.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let (mut h, mut pmc, mut dram) = setup();
+        h.access(
+            9,
+            AccessKind::Read,
+            pm_line(0),
+            Cycle::ZERO,
+            std::slice::from_mut(&mut pmc),
+            &mut dram,
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Word-granular memory images.
+//!
+//! The simulator keeps two value spaces:
+//!
+//! * the **volatile image** — what a coherent CPU would observe; updated at
+//!   store execution in global op order;
+//! * the **persistent image** — the contents of the PM device; updated only
+//!   when writes *arrive at the PM controller* (ADR domain), in arrival
+//!   order, per the active design's rules.
+//!
+//! A simulated power failure discards the volatile image and keeps the
+//! persistent one; recovery code (the failure-atomic runtime) then operates
+//! on the persistent image. PMEM-Spec's *stale read problem* is directly
+//! observable here: a load served by PM returns the persistent value, which
+//! may lag the volatile one while a persist is still in flight.
+
+use std::collections::HashMap;
+
+use pmemspec_isa::addr::{Addr, LineAddr};
+
+/// The pair of value spaces. Unwritten words read as zero, matching
+/// zero-initialized simulated memory.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryImage {
+    volatile: HashMap<Addr, u64>,
+    persistent: HashMap<Addr, u64>,
+}
+
+impl MemoryImage {
+    /// An all-zero memory.
+    pub fn new() -> Self {
+        MemoryImage::default()
+    }
+
+    /// The coherent (CPU-visible) value of `addr`.
+    pub fn read_volatile(&self, addr: Addr) -> u64 {
+        self.volatile.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// The on-device value of `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not in PM — DRAM has no persistent value.
+    pub fn read_persistent(&self, addr: Addr) -> u64 {
+        assert!(addr.is_pm(), "persistent read of DRAM address {addr}");
+        self.persistent.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Executes a store in the volatile domain.
+    pub fn store_volatile(&mut self, addr: Addr, value: u64) {
+        self.volatile.insert(addr, value);
+    }
+
+    /// Applies one persisted word (a persist-path or persist-buffer entry
+    /// arriving at the PM controller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not in PM.
+    pub fn persist_word(&mut self, addr: Addr, value: u64) {
+        assert!(addr.is_pm(), "persist of DRAM address {addr}");
+        self.persistent.insert(addr, value);
+    }
+
+    /// Applies a whole-line writeback: the dirty line leaving the cache
+    /// carries the current coherent values of its eight words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not in PM.
+    pub fn persist_line_snapshot(&mut self, line: LineAddr) {
+        assert!(line.is_pm(), "writeback of DRAM line {line}");
+        for w in line.words() {
+            let v = self.read_volatile(w);
+            self.persistent.insert(w, v);
+        }
+    }
+
+    /// True when the persistent copy of `addr` differs from the coherent
+    /// one (i.e. a fetch from PM would return stale data).
+    pub fn is_stale(&self, addr: Addr) -> bool {
+        addr.is_pm() && self.read_persistent(addr) != self.read_volatile(addr)
+    }
+
+    /// Simulates power failure: the volatile image is lost and replaced by
+    /// the persistent one (recovery code starts from what the device held).
+    pub fn crash(&mut self) {
+        self.volatile = self.persistent.clone();
+    }
+
+    /// A standalone copy of the persistent image, for offline checking.
+    pub fn persistent_snapshot(&self) -> HashMap<Addr, u64> {
+        self.persistent.clone()
+    }
+
+    /// Number of distinct words ever written in the volatile image.
+    pub fn volatile_footprint(&self) -> usize {
+        self.volatile.len()
+    }
+
+    /// Number of distinct words ever persisted.
+    pub fn persistent_footprint(&self) -> usize {
+        self.persistent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm(off: u64) -> Addr {
+        Addr::pm(off)
+    }
+
+    #[test]
+    fn unwritten_words_read_zero() {
+        let img = MemoryImage::new();
+        assert_eq!(img.read_volatile(pm(0)), 0);
+        assert_eq!(img.read_persistent(pm(0)), 0);
+        assert_eq!(img.read_volatile(Addr::dram(0)), 0);
+    }
+
+    #[test]
+    fn volatile_and_persistent_are_independent() {
+        let mut img = MemoryImage::new();
+        img.store_volatile(pm(8), 42);
+        assert_eq!(img.read_volatile(pm(8)), 42);
+        assert_eq!(img.read_persistent(pm(8)), 0, "not yet persisted");
+        assert!(img.is_stale(pm(8)));
+        img.persist_word(pm(8), 42);
+        assert_eq!(img.read_persistent(pm(8)), 42);
+        assert!(!img.is_stale(pm(8)));
+    }
+
+    #[test]
+    fn line_snapshot_copies_all_eight_words() {
+        let mut img = MemoryImage::new();
+        let line = pm(64).line();
+        for (i, w) in line.words().enumerate() {
+            img.store_volatile(w, i as u64 + 1);
+        }
+        img.persist_line_snapshot(line);
+        for (i, w) in line.words().enumerate() {
+            assert_eq!(img.read_persistent(w), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn crash_discards_unpersisted_state() {
+        let mut img = MemoryImage::new();
+        img.store_volatile(pm(0), 1);
+        img.persist_word(pm(0), 1);
+        img.store_volatile(pm(0), 2); // never persists
+        img.store_volatile(Addr::dram(0), 99); // volatile-only
+        img.crash();
+        assert_eq!(img.read_volatile(pm(0)), 1, "rolled back to persisted");
+        assert_eq!(img.read_volatile(Addr::dram(0)), 0, "DRAM lost");
+    }
+
+    #[test]
+    fn stale_detection_only_for_pm() {
+        let mut img = MemoryImage::new();
+        img.store_volatile(Addr::dram(8), 5);
+        assert!(!img.is_stale(Addr::dram(8)), "DRAM can never be stale");
+    }
+
+    #[test]
+    #[should_panic(expected = "DRAM")]
+    fn persist_of_dram_panics() {
+        MemoryImage::new().persist_word(Addr::dram(0), 1);
+    }
+
+    #[test]
+    fn footprints_count_distinct_words() {
+        let mut img = MemoryImage::new();
+        img.store_volatile(pm(0), 1);
+        img.store_volatile(pm(0), 2);
+        img.store_volatile(pm(8), 3);
+        img.persist_word(pm(0), 2);
+        assert_eq!(img.volatile_footprint(), 2);
+        assert_eq!(img.persistent_footprint(), 1);
+        assert_eq!(img.persistent_snapshot().len(), 1);
+    }
+}

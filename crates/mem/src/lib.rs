@@ -1,0 +1,35 @@
+//! Memory-hierarchy substrate for the PMEM-Spec reproduction.
+//!
+//! This crate models everything below the core's store queue:
+//!
+//! * [`image`] — word-granular *volatile* and *persistent* memory images,
+//!   so stale reads, missing updates, crashes, and recovery are checked on
+//!   real values.
+//! * [`cache`] — a set-associative tag array with LRU replacement, used for
+//!   both the private L1s and the shared LLC.
+//! * [`hierarchy`] — the two-level coherent hierarchy (private L1s, shared
+//!   LLC, directory-based invalidation) with timing.
+//! * [`pmc`] — the persistent-memory controller: bounded read/write queues
+//!   with service-rate modelling, in the ADR persistent domain.
+//! * [`dram`] — the volatile backing store's timing.
+//! * [`persist_path`] — PMEM-Spec's decoupled store-queue→PMC FIFO.
+//!
+//! Timing uses *resource occupancy* modelling: each shared port tracks when
+//! it is next free, so requests experience realistic queueing delay without
+//! a full event calendar per component. State mutation happens in global
+//! op order (the `pmem-spec` crate's system loop always advances the
+//! earliest-time core), which keeps the approximation faithful.
+
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+pub mod image;
+pub mod persist_path;
+pub mod pmc;
+
+pub use cache::SetAssocCache;
+pub use dram::Dram;
+pub use hierarchy::{AccessKind, CacheHierarchy, EvictedLine, ServedFrom};
+pub use image::MemoryImage;
+pub use persist_path::PersistPath;
+pub use pmc::PmController;

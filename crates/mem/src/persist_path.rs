@@ -1,0 +1,139 @@
+//! PMEM-Spec's decoupled persist path (§4.2).
+//!
+//! One FIFO per core connects the store queue directly to the PM
+//! controller, bypassing the cache hierarchy. Data pushed when a store
+//! commits arrives at the PMC `latency` later, in commit order; the
+//! ring-bus slot time (`gap`) bounds per-core injection bandwidth. Because
+//! delivery times are monotone per core, the path needs no entry storage —
+//! only the delivery time of the most recent entry, which is also exactly
+//! what `spec-barrier` waits for.
+//!
+//! Back-pressure from a full PMC write queue is fed back with
+//! [`PersistPath::note_backpressure`]: once the PMC delays acceptance, the
+//! FIFO behind it cannot deliver earlier than that acceptance either.
+
+use pmemspec_engine::clock::{Cycle, Duration};
+
+/// One core's persist-path FIFO.
+///
+/// # Examples
+///
+/// ```
+/// use pmemspec_mem::PersistPath;
+/// use pmemspec_engine::clock::{Cycle, Duration};
+///
+/// let mut p = PersistPath::new(Duration::from_ns(20), Duration::from_ns(2));
+/// let d1 = p.send(Cycle::ZERO);
+/// let d2 = p.send(Cycle::ZERO);
+/// assert_eq!(d1.as_ns(), 20);
+/// assert_eq!(d2.as_ns(), 22, "FIFO spacing");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersistPath {
+    latency: Duration,
+    gap: Duration,
+    last_delivery: Cycle,
+    sent: u64,
+}
+
+impl PersistPath {
+    /// Creates a path with the given one-way latency and slot time.
+    pub fn new(latency: Duration, gap: Duration) -> Self {
+        PersistPath {
+            latency,
+            gap,
+            last_delivery: Cycle::ZERO,
+            sent: 0,
+        }
+    }
+
+    /// Sends one store committed at `now`; returns its delivery time at
+    /// the PM controller.
+    pub fn send(&mut self, now: Cycle) -> Cycle {
+        let unconstrained = now + self.latency;
+        let delivery = if self.sent == 0 {
+            unconstrained
+        } else {
+            unconstrained.max(self.last_delivery + self.gap)
+        };
+        self.last_delivery = delivery;
+        self.sent += 1;
+        delivery
+    }
+
+    /// Records that the PMC accepted the last delivery only at `accepted`;
+    /// later entries queue behind it.
+    pub fn note_backpressure(&mut self, accepted: Cycle) {
+        self.last_delivery = self.last_delivery.max(accepted);
+    }
+
+    /// The time by which everything sent so far has been delivered —
+    /// what `spec-barrier` stalls on. Equals `now` when idle.
+    pub fn drained_at(&self, now: Cycle) -> Cycle {
+        self.last_delivery.max(now)
+    }
+
+    /// Total entries sent.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// The configured one-way latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path() -> PersistPath {
+        PersistPath::new(Duration::from_ns(20), Duration::from_ns(2))
+    }
+
+    #[test]
+    fn first_send_takes_one_way_latency() {
+        let mut p = path();
+        assert_eq!(p.send(Cycle::from_ns(5)).as_ns(), 25);
+        assert_eq!(p.sent(), 1);
+    }
+
+    #[test]
+    fn fifo_preserves_order_under_bursts() {
+        let mut p = path();
+        let mut prev = p.send(Cycle::ZERO);
+        for _ in 0..10 {
+            let d = p.send(Cycle::ZERO);
+            assert!(d > prev, "deliveries strictly ordered");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn spaced_sends_are_unconstrained() {
+        let mut p = path();
+        let a = p.send(Cycle::from_ns(0));
+        let b = p.send(Cycle::from_ns(1000));
+        assert_eq!(a.as_ns(), 20);
+        assert_eq!(b.as_ns(), 1020, "no queueing when spaced out");
+    }
+
+    #[test]
+    fn drained_at_tracks_last_delivery() {
+        let mut p = path();
+        assert_eq!(p.drained_at(Cycle::from_ns(3)), Cycle::from_ns(3), "idle");
+        let d = p.send(Cycle::ZERO);
+        assert_eq!(p.drained_at(Cycle::ZERO), d);
+        assert_eq!(p.drained_at(d), d);
+    }
+
+    #[test]
+    fn backpressure_delays_following_entries() {
+        let mut p = path();
+        let d1 = p.send(Cycle::ZERO);
+        p.note_backpressure(d1 + Duration::from_ns(100));
+        let d2 = p.send(Cycle::ZERO);
+        assert!(d2 >= d1 + Duration::from_ns(100));
+    }
+}

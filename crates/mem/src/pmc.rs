@@ -1,0 +1,284 @@
+//! The persistent-memory controller.
+//!
+//! The PMC owns two bounded queues (32-entry read, 64-entry write — Table 3)
+//! in front of a device with Optane-like timing (read 175 ns, write 94 ns)
+//! and limited service bandwidth. It sits inside the ADR persistent domain:
+//! a write is durable the moment it is *accepted* into the write queue
+//! (§8.1), not when the device finishes it.
+//!
+//! Timing uses a service-port model: each port remembers when it can next
+//! begin service and the completion times of in-flight requests, so a
+//! request arriving at a busy or full queue experiences realistic queueing
+//! delay.
+
+use std::collections::VecDeque;
+
+use pmemspec_engine::clock::{Cycle, Duration};
+use pmemspec_engine::config::PmConfig;
+
+/// A bounded service port: fixed capacity, service latency, and a minimum
+/// gap between service starts (bandwidth).
+#[derive(Debug, Clone)]
+pub(crate) struct ServicePort {
+    latency: Duration,
+    gap: Duration,
+    capacity: usize,
+    next_free: Cycle,
+    inflight: VecDeque<Cycle>,
+    served: u64,
+}
+
+/// The admission and completion times of one serviced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Service {
+    /// When the request entered the queue (waits here if the queue is full).
+    pub accepted: Cycle,
+    /// When the device finished the request.
+    pub done: Cycle,
+}
+
+impl ServicePort {
+    pub(crate) fn new(latency: Duration, gap: Duration, capacity: usize) -> Self {
+        assert!(capacity > 0, "service port needs capacity");
+        ServicePort {
+            latency,
+            gap,
+            capacity,
+            next_free: Cycle::ZERO,
+            inflight: VecDeque::with_capacity(capacity),
+            served: 0,
+        }
+    }
+
+    /// Services a request arriving at `now`.
+    pub(crate) fn request(&mut self, now: Cycle) -> Service {
+        let gap = self.gap;
+        self.request_with_gap(now, gap)
+    }
+
+    /// Services a request arriving at `now` with an explicit service gap
+    /// (used by the coalescing write buffer: same-line word writes share
+    /// the device's line-write slot).
+    pub(crate) fn request_with_gap(&mut self, now: Cycle, gap: Duration) -> Service {
+        // Free entries whose service completed by `now`.
+        while self.inflight.front().is_some_and(|&d| d <= now) {
+            self.inflight.pop_front();
+        }
+        // A full queue delays admission until the oldest entry completes.
+        let accepted = if self.inflight.len() >= self.capacity {
+            let oldest = self.inflight.pop_front().expect("full queue is non-empty");
+            oldest.max(now)
+        } else {
+            now
+        };
+        let start = accepted.max(self.next_free);
+        self.next_free = start + gap;
+        let done = start + self.latency;
+        self.inflight.push_back(done);
+        self.served += 1;
+        Service { accepted, done }
+    }
+
+    pub(crate) fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Completion time of the last request in flight, if any is pending at
+    /// `now`.
+    pub(crate) fn drained_at(&self, now: Cycle) -> Cycle {
+        self.inflight
+            .back()
+            .copied()
+            .filter(|&d| d > now)
+            .unwrap_or(now)
+    }
+}
+
+/// The PM controller: read + write ports with Table 3 parameters.
+///
+/// # Examples
+///
+/// ```
+/// use pmemspec_mem::PmController;
+/// use pmemspec_engine::{SimConfig, Cycle};
+///
+/// let cfg = SimConfig::asplos21(8);
+/// let mut pmc = PmController::new(&cfg.pm);
+/// let s = pmc.read(Cycle::ZERO);
+/// assert_eq!((s.done - s.accepted).as_ns(), 175);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PmController {
+    read_port: ServicePort,
+    write_port: ServicePort,
+    /// Open write-pending-queue entries for word coalescing (§4.2: "the
+    /// PM controller, which coalesces and buffers the store data"): line
+    /// key plus the device service of the entry's line write.
+    coalesce_ring: VecDeque<(u64, Service)>,
+}
+
+/// Number of line slots in the coalescing write buffer.
+const COALESCE_SLOTS: usize = 64;
+
+/// The controller serving a cache line under line interleaving.
+pub fn controller_for(line_key: u64, controllers: usize) -> usize {
+    (line_key % controllers as u64) as usize
+}
+
+impl PmController {
+    /// Creates a controller from the configuration.
+    pub fn new(cfg: &PmConfig) -> Self {
+        PmController {
+            read_port: ServicePort::new(cfg.read_latency, cfg.read_gap, cfg.read_queue),
+            write_port: ServicePort::new(cfg.write_latency, cfg.write_gap, cfg.write_queue),
+            coalesce_ring: VecDeque::with_capacity(COALESCE_SLOTS),
+        }
+    }
+
+    /// Services a line read arriving at the controller at `now`; `done` is
+    /// when the data is available to send back up.
+    pub fn read(&mut self, now: Cycle) -> Service {
+        self.read_port.request(now)
+    }
+
+    /// Services a full-line write arriving at `now` (CLWB, dirty
+    /// eviction). The write is durable (ADR) at `accepted`.
+    pub fn write(&mut self, now: Cycle) -> Service {
+        self.write_port.request(now)
+    }
+
+    /// Services a word-granular write arriving at `now` (persist path or
+    /// persist buffer). Words merge into the write-pending-queue entry of
+    /// their line: only the *first* word of a line occupies a device slot
+    /// and pays the line-write service; later words are absorbed by the
+    /// open entry and are durable on arrival (the whole WPQ is in the ADR
+    /// domain).
+    pub fn write_word(&mut self, now: Cycle, line_key: u64) -> Service {
+        if let Some(pos) = self.coalesce_ring.iter().position(|&(k, _)| k == line_key) {
+            // Merge: refresh the entry's LRU position.
+            let (_, svc) = self.coalesce_ring.remove(pos).expect("position valid");
+            self.coalesce_ring.push_back((line_key, svc));
+            return Service {
+                accepted: now,
+                done: svc.done.max(now),
+            };
+        }
+        let svc = self.write_port.request(now);
+        if self.coalesce_ring.len() == COALESCE_SLOTS {
+            self.coalesce_ring.pop_front();
+        }
+        self.coalesce_ring.push_back((line_key, svc));
+        svc
+    }
+
+    /// Total reads serviced.
+    pub fn reads(&self) -> u64 {
+        self.read_port.served()
+    }
+
+    /// Total writes serviced.
+    pub fn writes(&self) -> u64 {
+        self.write_port.served()
+    }
+
+    /// When all writes in flight at `now` will have completed.
+    pub fn writes_drained_at(&self, now: Cycle) -> Cycle {
+        self.write_port.drained_at(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_engine::SimConfig;
+
+    fn pmc() -> PmController {
+        PmController::new(&SimConfig::asplos21(8).pm)
+    }
+
+    #[test]
+    fn idle_read_takes_device_latency() {
+        let mut p = pmc();
+        let s = p.read(Cycle::from_ns(100));
+        assert_eq!(s.accepted, Cycle::from_ns(100));
+        assert_eq!(s.done, Cycle::from_ns(275));
+    }
+
+    #[test]
+    fn idle_write_durable_on_arrival() {
+        let mut p = pmc();
+        let s = p.write(Cycle::from_ns(10));
+        assert_eq!(s.accepted, Cycle::from_ns(10), "ADR: durable at acceptance");
+        assert_eq!(s.done, Cycle::from_ns(104));
+    }
+
+    #[test]
+    fn bandwidth_gap_spaces_back_to_back_reads() {
+        let mut p = pmc();
+        let a = p.read(Cycle::ZERO);
+        let b = p.read(Cycle::ZERO);
+        assert_eq!((b.done - a.done).as_ns(), 4, "read gap");
+    }
+
+    #[test]
+    fn full_write_queue_delays_admission() {
+        let mut p = pmc();
+        // Fill the 64-entry write queue instantly.
+        let mut last = Cycle::ZERO;
+        for _ in 0..64 {
+            last = p.write(Cycle::ZERO).accepted;
+        }
+        assert_eq!(last, Cycle::ZERO, "all 64 admitted immediately");
+        let overflow = p.write(Cycle::ZERO);
+        assert!(
+            overflow.accepted > Cycle::ZERO,
+            "65th write must wait for a queue slot"
+        );
+        // It waits exactly until the oldest in-flight write completes.
+        assert_eq!(overflow.accepted.as_ns(), 94);
+    }
+
+    #[test]
+    fn queue_frees_after_completions() {
+        let mut p = pmc();
+        for _ in 0..64 {
+            p.write(Cycle::ZERO);
+        }
+        // Long after everything drained, admission is immediate again.
+        let later = Cycle::from_ns(100_000);
+        let s = p.write(later);
+        assert_eq!(s.accepted, later);
+    }
+
+    #[test]
+    fn counters_track_requests() {
+        let mut p = pmc();
+        p.read(Cycle::ZERO);
+        p.write(Cycle::ZERO);
+        p.write(Cycle::ZERO);
+        assert_eq!(p.reads(), 1);
+        assert_eq!(p.writes(), 2);
+    }
+
+    #[test]
+    fn writes_drained_at_reports_last_completion() {
+        let mut p = pmc();
+        assert_eq!(p.writes_drained_at(Cycle::ZERO), Cycle::ZERO, "idle");
+        let s1 = p.write(Cycle::ZERO);
+        let s2 = p.write(Cycle::ZERO);
+        assert!(s2.done > s1.done);
+        assert_eq!(p.writes_drained_at(Cycle::ZERO), s2.done);
+        // After the last completion, nothing is pending.
+        assert_eq!(p.writes_drained_at(s2.done), s2.done);
+    }
+
+    #[test]
+    fn reads_and_writes_use_independent_ports() {
+        let mut p = pmc();
+        let r = p.read(Cycle::ZERO);
+        let w = p.write(Cycle::ZERO);
+        // Neither is pushed back by the other.
+        assert_eq!(r.done.as_ns(), 175);
+        assert_eq!(w.done.as_ns(), 94);
+    }
+}

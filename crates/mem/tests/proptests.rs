@@ -1,0 +1,185 @@
+//! Property tests for the memory substrate.
+
+use proptest::prelude::*;
+
+use pmemspec_engine::clock::Cycle;
+use pmemspec_engine::SimConfig;
+use pmemspec_isa::addr::{Addr, LineAddr};
+use pmemspec_mem::hierarchy::AccessKind;
+use pmemspec_mem::{CacheHierarchy, Dram, MemoryImage, PmController, SetAssocCache};
+
+fn line(i: u64) -> LineAddr {
+    Addr::pm(i * 64).line()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache never holds more lines than its capacity, and a line is
+    /// resident immediately after insertion.
+    #[test]
+    fn cache_capacity_invariant(
+        inserts in prop::collection::vec(0u64..256, 1..200),
+        sets in 1usize..5,
+        ways in 1usize..5,
+    ) {
+        let sets = 1 << sets;
+        let mut c = SetAssocCache::new(sets, ways);
+        for &i in &inserts {
+            let l = line(i);
+            if !c.contains(l) {
+                c.insert(l, i % 2 == 0);
+            } else {
+                c.touch(l, i % 3 == 0);
+            }
+            prop_assert!(c.contains(l));
+            prop_assert!(c.len() <= sets * ways);
+        }
+    }
+
+    /// An evicted victim was resident before and is gone after; nothing
+    /// else changes residency.
+    #[test]
+    fn eviction_only_removes_the_victim(ops in prop::collection::vec(0u64..64, 1..100)) {
+        let mut c = SetAssocCache::new(4, 2);
+        let mut resident: std::collections::HashSet<LineAddr> = Default::default();
+        for &i in &ops {
+            let l = line(i);
+            if resident.contains(&l) {
+                c.touch(l, false);
+                continue;
+            }
+            let out = c.insert(l, false);
+            resident.insert(l);
+            if let Some((victim, _)) = out.victim {
+                prop_assert!(resident.remove(&victim), "victim {victim} was not resident");
+                prop_assert!(!c.contains(victim));
+            }
+            for &r in &resident {
+                prop_assert!(c.contains(r), "{r} lost without eviction");
+            }
+        }
+    }
+
+    /// MemoryImage: crash() projects volatile state onto exactly the
+    /// persisted words.
+    #[test]
+    fn crash_is_persistent_projection(
+        writes in prop::collection::vec((0u64..64, any::<u64>(), any::<bool>()), 1..100)
+    ) {
+        let mut img = MemoryImage::new();
+        let mut expected: std::collections::HashMap<u64, u64> = Default::default();
+        for &(slot, value, persist) in &writes {
+            let addr = Addr::pm(slot * 8);
+            img.store_volatile(addr, value);
+            if persist {
+                img.persist_word(addr, value);
+                expected.insert(slot, value);
+            }
+        }
+        img.crash();
+        for slot in 0..64u64 {
+            let addr = Addr::pm(slot * 8);
+            prop_assert_eq!(
+                img.read_volatile(addr),
+                expected.get(&slot).copied().unwrap_or(0)
+            );
+        }
+    }
+
+    /// PMC service times are monotone in arrival order per port, and a
+    /// write is never durable before it arrives.
+    #[test]
+    fn pmc_service_monotone(arrivals in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let cfg = SimConfig::asplos21(8);
+        let mut pmc = PmController::new(&cfg.pm);
+        let mut last_done = Cycle::ZERO;
+        for &a in &sorted {
+            let t = Cycle::from_raw(a);
+            let svc = pmc.write(t);
+            prop_assert!(svc.accepted >= t, "durable before arrival");
+            prop_assert!(svc.done >= svc.accepted);
+            prop_assert!(svc.done >= last_done, "service order inverted");
+            last_done = svc.done;
+        }
+    }
+
+    /// Coherence invariant: after any access sequence, a line has at most
+    /// one modified owner, and an owner implies residency in that L1.
+    #[test]
+    fn single_writer_invariant(
+        ops in prop::collection::vec((0usize..4, 0u64..8, any::<bool>()), 1..150)
+    ) {
+        let mut cfg = SimConfig::asplos21(4);
+        cfg.l1.size_bytes = 512;
+        cfg.llc.size_bytes = 2048;
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut pmc = PmController::new(&cfg.pm);
+        let mut dram = Dram::new(&cfg.dram);
+        for (i, &(core, l, write)) in ops.iter().enumerate() {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let now = Cycle::from_raw(i as u64 * 1000);
+            let out = h.access(core, kind, line(l), now, std::slice::from_mut(&mut pmc), &mut dram);
+            prop_assert!(out.completed >= now);
+            if write {
+                prop_assert_eq!(h.owner(line(l)), Some(core), "writer must own the line");
+            }
+            if let Some(owner) = h.owner(line(l)) {
+                prop_assert!(owner < 4);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural invariants (directory/L1 agreement, unique dirty owner,
+    /// inclusivity) hold after every access of any access sequence.
+    #[test]
+    fn hierarchy_invariants_hold_under_any_access_sequence(
+        ops in prop::collection::vec((0usize..4, 0u64..24, any::<bool>()), 1..200)
+    ) {
+        let mut cfg = SimConfig::asplos21(4);
+        cfg.l1.size_bytes = 512;
+        cfg.llc.size_bytes = 1024; // smaller than sum of L1s: eviction-heavy
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut pmc = PmController::new(&cfg.pm);
+        let mut dram = Dram::new(&cfg.dram);
+        for (i, &(core, l, write)) in ops.iter().enumerate() {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let now = Cycle::from_raw(i as u64 * 500);
+            h.access(core, kind, line(l), now, std::slice::from_mut(&mut pmc), &mut dram);
+            h.check_invariants();
+        }
+    }
+}
+
+proptest! {
+    /// Persist-path deliveries are strictly increasing regardless of the
+    /// interleaving of sends and back-pressure notes.
+    #[test]
+    fn persist_path_deliveries_strictly_increase(
+        ops in prop::collection::vec((0u64..500, prop::option::of(0u64..2000)), 1..100)
+    ) {
+        use pmemspec_mem::PersistPath;
+        use pmemspec_engine::clock::Duration;
+        let mut path = PersistPath::new(Duration::from_ns(20), Duration::from_cycles(1));
+        let mut now = 0u64;
+        let mut last = None;
+        for &(gap, backpressure) in &ops {
+            now += gap;
+            let d = path.send(Cycle::from_ns(now));
+            if let Some(prev) = last {
+                prop_assert!(d > prev, "FIFO deliveries must strictly increase");
+            }
+            prop_assert!(d >= Cycle::from_ns(now + 20), "never faster than the path");
+            if let Some(extra) = backpressure {
+                path.note_backpressure(d + Duration::from_ns(extra));
+            }
+            last = Some(path.drained_at(Cycle::from_ns(now)).max(d));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Placement of per-thread log rings in persistent memory.
+//!
+//! Each thread owns a ring of fixed-size *slots*; FASE number `n` uses
+//! slot `n % slots_per_thread`, so a slot is reused only after
+//! `slots_per_thread` later FASEs have committed and truncated. A slot is
+//! one status word followed by `max_entries` three-word entries
+//! (`target address`, `value`, `checksummed header`), padded to a cache
+//! line.
+
+use pmemspec_isa::addr::{Addr, LINE_BYTES, WORD_BYTES};
+
+/// Words per log entry: target, value, header.
+pub const ENTRY_WORDS: u64 = 3;
+
+/// Geometry of the log region.
+///
+/// # Examples
+///
+/// ```
+/// use pmemspec_runtime::LogLayout;
+///
+/// let layout = LogLayout::new(0, 8, 4, 9);
+/// assert_eq!(layout.slot_index(0), layout.slot_index(4), "ring of 4");
+/// assert!(layout.region_bytes() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogLayout {
+    /// PM byte offset where the region starts.
+    pub base_offset: u64,
+    /// Number of threads with private rings.
+    pub threads: usize,
+    /// Slots in each thread's ring.
+    pub slots_per_thread: usize,
+    /// Maximum log entries one FASE may write.
+    pub max_entries: usize,
+}
+
+impl LogLayout {
+    /// A layout with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, fewer than two slots are
+    /// requested (a one-slot ring would reuse the slot of the immediately
+    /// preceding, possibly still-truncating FASE), or `base_offset` is
+    /// not line-aligned.
+    pub fn new(
+        base_offset: u64,
+        threads: usize,
+        slots_per_thread: usize,
+        max_entries: usize,
+    ) -> Self {
+        assert!(threads > 0, "layout needs at least one thread");
+        assert!(slots_per_thread >= 2, "ring needs at least two slots");
+        assert!(max_entries > 0, "slots need entry space");
+        assert_eq!(base_offset % LINE_BYTES, 0, "region must be line-aligned");
+        LogLayout {
+            base_offset,
+            threads,
+            slots_per_thread,
+            max_entries,
+        }
+    }
+
+    /// Slot size in words, padded so slots start on line boundaries.
+    pub fn slot_words(&self) -> u64 {
+        let words = 1 + ENTRY_WORDS * self.max_entries as u64;
+        let per_line = LINE_BYTES / WORD_BYTES;
+        words.div_ceil(per_line) * per_line
+    }
+
+    /// Slot size in bytes.
+    pub fn slot_bytes(&self) -> u64 {
+        self.slot_words() * WORD_BYTES
+    }
+
+    /// Total bytes the region occupies.
+    pub fn region_bytes(&self) -> u64 {
+        self.slot_bytes() * self.slots_per_thread as u64 * self.threads as u64
+    }
+
+    /// First byte past the region (handy for placing data after it).
+    pub fn end_offset(&self) -> u64 {
+        self.base_offset + self.region_bytes()
+    }
+
+    /// The slot index FASE `fase_no` of any thread uses.
+    pub fn slot_index(&self, fase_no: u64) -> usize {
+        (fase_no % self.slots_per_thread as u64) as usize
+    }
+
+    /// Base address of `thread`'s slot for FASE `fase_no`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn slot_addr(&self, thread: usize, fase_no: u64) -> Addr {
+        assert!(thread < self.threads, "thread {thread} out of range");
+        let slot = self.slot_index(fase_no) as u64;
+        Addr::pm(
+            self.base_offset
+                + (thread as u64 * self.slots_per_thread as u64 + slot) * self.slot_bytes(),
+        )
+    }
+
+    /// The slot's status word (sequence number of the last *truncated*
+    /// FASE for undo, or the last *committed* one for redo).
+    pub fn status_addr(&self, thread: usize, fase_no: u64) -> Addr {
+        self.slot_addr(thread, fase_no)
+    }
+
+    /// Address of the first word of entry `entry` in the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry >= max_entries`.
+    pub fn entry_addr(&self, thread: usize, fase_no: u64, entry: usize) -> Addr {
+        assert!(entry < self.max_entries, "entry {entry} out of range");
+        self.slot_addr(thread, fase_no)
+            .offset((1 + ENTRY_WORDS * entry as u64) * WORD_BYTES)
+    }
+
+    /// The sequence number FASE `fase_no` stamps into its entries
+    /// (`fase_no + 1`, so zero means "never written").
+    pub fn seq(fase_no: u64) -> u64 {
+        fase_no + 1
+    }
+
+    /// Whether `seq` (from a recovered header) belongs to the slot that
+    /// holds it — a cheap validity check on top of the checksum.
+    pub fn seq_matches_slot(&self, seq: u64, slot_index: usize) -> bool {
+        seq > 0 && (seq - 1) % self.slots_per_thread as u64 == slot_index as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> LogLayout {
+        LogLayout::new(0, 2, 4, 9)
+    }
+
+    #[test]
+    fn slot_geometry() {
+        let l = layout();
+        // 1 + 27 = 28 words -> padded to 32 (4 lines).
+        assert_eq!(l.slot_words(), 32);
+        assert_eq!(l.slot_bytes(), 256);
+        assert_eq!(l.region_bytes(), 256 * 4 * 2);
+        assert_eq!(l.end_offset(), 2048);
+    }
+
+    #[test]
+    fn slots_cycle_per_thread() {
+        let l = layout();
+        assert_eq!(l.slot_addr(0, 0), l.slot_addr(0, 4), "ring of 4");
+        assert_ne!(l.slot_addr(0, 0), l.slot_addr(0, 1));
+        assert_ne!(l.slot_addr(0, 0), l.slot_addr(1, 0), "threads disjoint");
+    }
+
+    #[test]
+    fn entry_addresses_are_disjoint_words() {
+        let l = layout();
+        let e0 = l.entry_addr(0, 0, 0);
+        let e1 = l.entry_addr(0, 0, 1);
+        assert_eq!((e1.raw() - e0.raw()), 24);
+        assert_eq!(e0.raw() - l.slot_addr(0, 0).raw(), 8, "status word first");
+    }
+
+    #[test]
+    fn seq_mapping() {
+        let l = layout();
+        assert_eq!(LogLayout::seq(0), 1);
+        assert!(l.seq_matches_slot(1, 0));
+        assert!(l.seq_matches_slot(5, 0), "fase 4 reuses slot 0");
+        assert!(!l.seq_matches_slot(2, 0));
+        assert!(!l.seq_matches_slot(0, 0), "zero is never a live seq");
+    }
+
+    #[test]
+    #[should_panic(expected = "two slots")]
+    fn single_slot_ring_rejected() {
+        let _ = LogLayout::new(0, 1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_thread_panics() {
+        layout().slot_addr(9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_entry_panics() {
+        layout().entry_addr(0, 0, 9);
+    }
+}

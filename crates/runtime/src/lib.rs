@@ -1,0 +1,26 @@
+//! Failure-atomic runtime models for the PMEM-Spec reproduction.
+//!
+//! PMEM-Spec delegates misspeculation recovery to failure-atomic software
+//! (§6): the same undo/redo logging that makes programs crash-consistent
+//! also erases the effects of a *virtual* power failure. This crate models
+//! the two families the paper builds on:
+//!
+//! * [`undo`] — lock-based FASEs with undo logging (the microbenchmarks,
+//!   TATP, and TPCC of Table 4);
+//! * [`redo`] — Mnemosyne-style redo-logged transactions (Vacation and
+//!   Memcached).
+//!
+//! Both emit *abstract* programs (`pmemspec_isa::AbsThread`), so one
+//! workload lowers to all four evaluated designs, and both provide a
+//! recovery routine operating on a raw persistent snapshot (address →
+//! word map), exactly what survives the simulator's `run_until` power
+//! failure. Log entries carry checksummed headers so recovery rejects
+//! torn entries.
+
+pub mod layout;
+pub mod redo;
+pub mod undo;
+
+pub use layout::LogLayout;
+pub use redo::RedoLog;
+pub use undo::{RecoveryOutcome, UndoLog};

@@ -1,0 +1,202 @@
+//! Property tests: the undo- and redo-log disciplines recover *any*
+//! crash state that respects the emitted ordering constraints.
+//!
+//! The key machinery is a host-side interpreter of the abstract op stream
+//! that persists an arbitrary *barrier-respecting* subset of the writes:
+//! writes within an ordering epoch may persist in any subset/order, but a
+//! write after an ordering point may only persist if every write before
+//! that point did. (PMEM-Spec's FIFO path is the special case "prefix of
+//! the write sequence"; epoch designs allow the general form.) Recovery
+//! must restore atomicity for every such state.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use pmemspec_isa::abs::{AbsOp, AbsThread};
+use pmemspec_isa::addr::Addr;
+use pmemspec_isa::ValueSrc;
+use pmemspec_runtime::{LogLayout, RedoLog, UndoLog};
+
+/// The persistent writes of one thread's abstract stream, flattened, with
+/// the index of the ordering epoch each belongs to.
+fn epoch_writes(ops: &[AbsOp]) -> Vec<(usize, Addr, ValueSrc)> {
+    let mut epoch = 0usize;
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            AbsOp::LogOrder | AbsOp::DataOrder => epoch += 1,
+            AbsOp::LogWrite { addr, value } | AbsOp::DataWrite { addr, value } => {
+                out.push((epoch, addr, value))
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Applies a barrier-respecting subset of the writes to an empty PM
+/// image: all epochs before `full_epochs` persist completely; within the
+/// boundary epoch, `partial` selects survivors. Values resolve against a
+/// *volatile* image that sees every write (the CPU executed them all).
+fn crash_state(
+    writes: &[(usize, Addr, ValueSrc)],
+    full_epochs: usize,
+    partial: &[bool],
+    initial: &HashMap<Addr, u64>,
+) -> HashMap<Addr, u64> {
+    let mut volatile = initial.clone();
+    let mut resolved = Vec::new();
+    for &(epoch, addr, value) in writes {
+        let v = match value {
+            ValueSrc::Imm(x) => x,
+            ValueSrc::OldOf(a) => volatile.get(&a).copied().unwrap_or(0),
+            ValueSrc::OldPlus { addr, delta } => volatile
+                .get(&addr)
+                .copied()
+                .unwrap_or(0)
+                .wrapping_add(delta),
+            ValueSrc::LogTag { tag, target } => {
+                ValueSrc::log_tag_value(tag, target, volatile.get(&target).copied().unwrap_or(0))
+            }
+        };
+        volatile.insert(addr, v);
+        resolved.push((epoch, addr, v));
+    }
+    let mut pm = initial.clone();
+    let mut boundary_idx = 0usize;
+    for &(epoch, addr, v) in &resolved {
+        if epoch < full_epochs {
+            pm.insert(addr, v);
+        } else if epoch == full_epochs {
+            let keep = partial.get(boundary_idx).copied().unwrap_or(false);
+            boundary_idx += 1;
+            if keep {
+                pm.insert(addr, v);
+            }
+        }
+    }
+    pm
+}
+
+fn data_addr(k: u64) -> Addr {
+    Addr::pm((1 << 16) + k * 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Undo logging: for ANY barrier-respecting crash state of one FASE,
+    /// recovery yields either the complete pre-state or the complete
+    /// post-state of the FASE's data words.
+    #[test]
+    fn undo_recovery_is_atomic(
+        targets in prop::collection::vec(0u64..8, 1..6),
+        initial_vals in prop::collection::vec(1u64..1000, 8),
+        full_epochs in 0usize..4,
+        partial in prop::collection::vec(any::<bool>(), 0..24),
+    ) {
+        // Distinct targets only.
+        let mut targets = targets;
+        targets.sort_unstable();
+        targets.dedup();
+        let undo = UndoLog::new(LogLayout::new(0, 1, 4, 8));
+        let addrs: Vec<Addr> = targets.iter().map(|&k| data_addr(k)).collect();
+
+        // Emit one FASE.
+        let mut t = AbsThread::new();
+        t.begin_fase();
+        undo.emit_log(&mut t, 0, 0, &addrs);
+        for (i, &a) in addrs.iter().enumerate() {
+            t.data_write(a, 5000 + i as u64);
+        }
+        undo.emit_truncate(&mut t, 0, 0);
+        t.end_fase();
+        let ops = t.finish();
+
+        let initial: HashMap<Addr, u64> = (0..8u64)
+            .map(|k| (data_addr(k), initial_vals[k as usize]))
+            .collect();
+        let writes = epoch_writes(&ops);
+        let mut pm = crash_state(&writes, full_epochs, &partial, &initial);
+        undo.recover(&mut pm);
+
+        let pre: Vec<u64> = addrs.iter().map(|a| initial[a]).collect();
+        let post: Vec<u64> = (0..addrs.len()).map(|i| 5000 + i as u64).collect();
+        let got: Vec<u64> = addrs.iter().map(|a| pm.get(a).copied().unwrap_or(0)).collect();
+        prop_assert!(
+            got == pre || got == post,
+            "torn state survived recovery: got {got:?}, pre {pre:?}, post {post:?} \
+             (full_epochs={full_epochs})"
+        );
+    }
+
+    /// Redo logging: same property — committed transactions replay fully,
+    /// uncommitted ones disappear fully.
+    #[test]
+    fn redo_recovery_is_atomic(
+        targets in prop::collection::vec(0u64..8, 1..6),
+        initial_vals in prop::collection::vec(1u64..1000, 8),
+        full_epochs in 0usize..6,
+        partial in prop::collection::vec(any::<bool>(), 0..24),
+    ) {
+        let mut targets = targets;
+        targets.sort_unstable();
+        targets.dedup();
+        let redo = RedoLog::new(LogLayout::new(0, 1, 4, 8));
+        let writes_spec: Vec<(Addr, u64)> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (data_addr(k), 9000 + i as u64))
+            .collect();
+
+        let mut t = AbsThread::new();
+        t.begin_fase();
+        redo.emit_tx(&mut t, 0, 0, &writes_spec);
+        t.end_fase();
+        let ops = t.finish();
+
+        let initial: HashMap<Addr, u64> = (0..8u64)
+            .map(|k| (data_addr(k), initial_vals[k as usize]))
+            .collect();
+        let writes = epoch_writes(&ops);
+        let mut pm = crash_state(&writes, full_epochs, &partial, &initial);
+        redo.recover(&mut pm);
+
+        let pre: Vec<u64> = writes_spec.iter().map(|(a, _)| initial[a]).collect();
+        let post: Vec<u64> = writes_spec.iter().map(|&(_, v)| v).collect();
+        let got: Vec<u64> = writes_spec
+            .iter()
+            .map(|(a, _)| pm.get(a).copied().unwrap_or(0))
+            .collect();
+        prop_assert!(
+            got == pre || got == post,
+            "torn redo state: got {got:?}, pre {pre:?}, post {post:?} \
+             (full_epochs={full_epochs})"
+        );
+    }
+
+    /// Recovery is idempotent on arbitrary crash states.
+    #[test]
+    fn undo_recovery_idempotent(
+        full_epochs in 0usize..4,
+        partial in prop::collection::vec(any::<bool>(), 0..16),
+    ) {
+        let undo = UndoLog::new(LogLayout::new(0, 1, 4, 4));
+        let addrs = [data_addr(0), data_addr(1)];
+        let mut t = AbsThread::new();
+        t.begin_fase();
+        undo.emit_log(&mut t, 0, 0, &addrs);
+        t.data_write(addrs[0], 11u64).data_write(addrs[1], 22u64);
+        undo.emit_truncate(&mut t, 0, 0);
+        t.end_fase();
+        let ops = t.finish();
+        let initial: HashMap<Addr, u64> =
+            addrs.iter().map(|&a| (a, 1)).collect();
+        let mut pm = crash_state(&epoch_writes(&ops), full_epochs, &partial, &initial);
+        undo.recover(&mut pm);
+        let after_first = pm.clone();
+        undo.recover(&mut pm);
+        prop_assert_eq!(pm, after_first);
+    }
+}

@@ -1,0 +1,204 @@
+//! Array Swaps: random swaps of array elements (Table 4, after DPO's
+//! microbenchmark).
+//!
+//! Each thread owns a disjoint segment of a persistent array of 64-byte
+//! elements. A populate phase writes initial values; each measured FASE
+//! then swaps two random elements of the thread's own segment under undo
+//! logging. Because segments are disjoint, the final array contents are
+//! interleaving-independent and checked exactly.
+
+use std::collections::HashMap;
+
+use pmemspec_engine::SimRng;
+use pmemspec_isa::abs::{AbsProgram, AbsThread};
+use pmemspec_isa::addr::Addr;
+use pmemspec_isa::ValueSrc;
+use pmemspec_runtime::{LogLayout, UndoLog};
+
+use crate::{GeneratedWorkload, WorkloadParams};
+
+/// Elements per thread segment.
+pub const ELEMENTS: u64 = 256;
+/// Words per element (64 bytes).
+pub const ELEM_WORDS: u64 = 8;
+/// Elements initialized per populate FASE.
+const INIT_BATCH: u64 = 8;
+
+/// Where the array starts, for the layout [`generate`] builds.
+pub fn data_base(params: &WorkloadParams) -> Addr {
+    let layout = LogLayout::new(0, params.threads, 4, 64);
+    Addr::pm(layout.end_offset().next_multiple_of(4096))
+}
+
+/// Address of element `elem` in `thread`'s segment.
+pub fn element_addr(data_base: Addr, thread: u64, elem: u64) -> Addr {
+    data_base.offset((thread * ELEMENTS + elem) * ELEM_WORDS * 8)
+}
+
+/// Initial value of element `elem` word `w` in `thread`'s segment.
+pub fn initial_value(thread: u64, elem: u64, w: u64) -> u64 {
+    (thread << 32) | (elem << 8) | (w + 1)
+}
+
+/// Generates the workload.
+pub fn generate(params: &WorkloadParams) -> GeneratedWorkload {
+    let threads = params.threads;
+    // 2 elements × 8 words per swap = 16 log entries; init batches need 64.
+    let layout = LogLayout::new(0, threads, 4, 64);
+    let undo = UndoLog::new(layout);
+    let data_base = Addr::pm(layout.end_offset().next_multiple_of(4096));
+    let mut rng = SimRng::seed_from_u64(params.seed);
+    let mut program = AbsProgram::new();
+    let mut expected: HashMap<Addr, u64> = HashMap::new();
+
+    for tid in 0..threads as u64 {
+        let mut thread_rng = rng.fork();
+        let mut t = AbsThread::new();
+        let mut fase_no = 0u64;
+        // Host-side mirror of the segment, to compute the expected final
+        // state.
+        let mut values: Vec<u64> = (0..ELEMENTS)
+            .flat_map(|e| (0..ELEM_WORDS).map(move |w| initial_value(tid, e, w)))
+            .collect();
+
+        // Populate phase: undo-logged like everything else.
+        for batch in 0..ELEMENTS / INIT_BATCH {
+            t.begin_fase();
+            let targets: Vec<Addr> = (0..INIT_BATCH)
+                .flat_map(|k| {
+                    let elem = batch * INIT_BATCH + k;
+                    (0..ELEM_WORDS).map(move |w| (elem, w)).collect::<Vec<_>>()
+                })
+                .map(|(elem, w)| element_addr(data_base, tid, elem).offset(w * 8))
+                .collect();
+            undo.emit_log(&mut t, tid as usize, fase_no, &targets);
+            for k in 0..INIT_BATCH {
+                let elem = batch * INIT_BATCH + k;
+                for w in 0..ELEM_WORDS {
+                    t.data_write(
+                        element_addr(data_base, tid, elem).offset(w * 8),
+                        initial_value(tid, elem, w),
+                    );
+                }
+            }
+            undo.emit_truncate(&mut t, tid as usize, fase_no);
+            t.end_fase();
+            fase_no += 1;
+        }
+
+        // Measured phase: random swaps.
+        for _ in 0..params.fases_per_thread {
+            let i = thread_rng.gen_range(ELEMENTS);
+            let j = {
+                let mut j = thread_rng.gen_range(ELEMENTS);
+                while j == i {
+                    j = thread_rng.gen_range(ELEMENTS);
+                }
+                j
+            };
+            let a_i = element_addr(data_base, tid, i);
+            let a_j = element_addr(data_base, tid, j);
+            t.begin_fase();
+            // Read both elements (the swap reads them anyway).
+            for w in 0..ELEM_WORDS {
+                t.pm_read(a_i.offset(w * 8));
+                t.pm_read(a_j.offset(w * 8));
+            }
+            // Log pre-images: entries 0..8 cover a_i, 8..16 cover a_j.
+            let targets: Vec<Addr> = (0..ELEM_WORDS)
+                .map(|w| a_i.offset(w * 8))
+                .chain((0..ELEM_WORDS).map(|w| a_j.offset(w * 8)))
+                .collect();
+            undo.emit_log(&mut t, tid as usize, fase_no, &targets);
+            // a_i takes a_j's (still unmodified) values...
+            for w in 0..ELEM_WORDS {
+                t.data_write(a_i.offset(w * 8), ValueSrc::OldOf(a_j.offset(w * 8)));
+            }
+            // ...and a_j takes a_i's pre-images, read back from the log
+            // (a_i has been overwritten by now).
+            for w in 0..ELEM_WORDS {
+                let log_value_word = layout
+                    .entry_addr(tid as usize, fase_no, w as usize)
+                    .offset(8);
+                t.data_write(a_j.offset(w * 8), ValueSrc::OldOf(log_value_word));
+            }
+            undo.emit_truncate(&mut t, tid as usize, fase_no);
+            t.end_fase();
+            fase_no += 1;
+            // Mirror the swap on the host.
+            for w in 0..ELEM_WORDS {
+                values.swap((i * ELEM_WORDS + w) as usize, (j * ELEM_WORDS + w) as usize);
+            }
+        }
+
+        for e in 0..ELEMENTS {
+            for w in 0..ELEM_WORDS {
+                expected.insert(
+                    element_addr(data_base, tid, e).offset(w * 8),
+                    values[(e * ELEM_WORDS + w) as usize],
+                );
+            }
+        }
+        program.add_thread(t);
+    }
+
+    GeneratedWorkload {
+        program,
+        undo: Some(undo),
+        redo: None,
+        expected_final: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_count_and_structure() {
+        let params = WorkloadParams::small(2).with_fases(10);
+        let g = generate(&params);
+        assert_eq!(g.program.thread_count(), 2);
+        // populate (256/8 = 32) + 10 swaps per thread.
+        let fases: usize = g
+            .program
+            .threads()
+            .map(|ops| {
+                ops.iter()
+                    .filter(|o| matches!(o, pmemspec_isa::abs::AbsOp::FaseBegin { .. }))
+                    .count()
+            })
+            .sum();
+        assert_eq!(fases, 2 * (32 + 10));
+    }
+
+    #[test]
+    fn expected_final_is_a_permutation_of_initial() {
+        let params = WorkloadParams::small(1).with_fases(25);
+        let g = generate(&params);
+        let mut finals: Vec<u64> = g.expected_final.values().copied().collect();
+        let mut initials: Vec<u64> = (0..ELEMENTS)
+            .flat_map(|e| (0..ELEM_WORDS).map(move |w| initial_value(0, e, w)))
+            .collect();
+        finals.sort_unstable();
+        initials.sort_unstable();
+        assert_eq!(finals, initials, "swaps preserve the multiset");
+    }
+
+    #[test]
+    fn segments_are_disjoint_across_threads() {
+        let params = WorkloadParams::small(2).with_fases(5);
+        let g = generate(&params);
+        let t0: Vec<_> = g.program.thread(0).to_vec();
+        let t1: Vec<_> = g.program.thread(1).to_vec();
+        let writes = |ops: &[pmemspec_isa::abs::AbsOp]| -> std::collections::HashSet<Addr> {
+            ops.iter()
+                .filter_map(|o| match o {
+                    pmemspec_isa::abs::AbsOp::DataWrite { addr, .. } => Some(*addr),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert!(writes(&t0).is_disjoint(&writes(&t1)));
+    }
+}

@@ -1,0 +1,145 @@
+//! Static workload characterization, WHISPER-style.
+//!
+//! HOPS grew out of the WHISPER analysis of persistent-memory
+//! applications (epochs are small; cross-thread dependencies are rare);
+//! PMEM-Spec leans on the same facts (§8.4). This module computes the
+//! static half of that census over the abstract programs: FASE sizes,
+//! ordering-point counts, read/write mixes, and footprints.
+
+use std::collections::HashSet;
+
+use pmemspec_isa::abs::{AbsOp, AbsProgram};
+use pmemspec_isa::addr::LineAddr;
+
+/// Aggregate statistics of one program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProgramProfile {
+    /// Total FASEs across threads.
+    pub fases: u64,
+    /// Mean abstract ops per FASE.
+    pub ops_per_fase: f64,
+    /// Mean PM stores (log + data) per FASE.
+    pub pm_stores_per_fase: f64,
+    /// Mean PM reads per FASE.
+    pub pm_reads_per_fase: f64,
+    /// Mean ordering points (log/data order) per FASE — each becomes an
+    /// SFENCE/ofence on the epoch designs and *nothing* on PMEM-Spec.
+    pub ordering_points_per_fase: f64,
+    /// Mean lock acquisitions per FASE.
+    pub locks_per_fase: f64,
+    /// Mean distinct PM lines written per FASE.
+    pub lines_written_per_fase: f64,
+    /// Distinct PM lines written anywhere (footprint, in lines).
+    pub written_footprint_lines: u64,
+    /// Fraction of FASEs that write nothing (read-only).
+    pub read_only_fraction: f64,
+}
+
+/// Profiles `program`.
+pub fn profile(program: &AbsProgram) -> ProgramProfile {
+    let mut fases = 0u64;
+    let mut ops = 0u64;
+    let mut stores = 0u64;
+    let mut reads = 0u64;
+    let mut orders = 0u64;
+    let mut locks = 0u64;
+    let mut lines_written_total = 0u64;
+    let mut read_only = 0u64;
+    let mut footprint: HashSet<LineAddr> = HashSet::new();
+
+    for thread in program.threads() {
+        let mut fase_lines: HashSet<LineAddr> = HashSet::new();
+        let mut fase_writes = 0u64;
+        for op in thread {
+            match *op {
+                AbsOp::FaseBegin { .. } => {
+                    fases += 1;
+                    fase_lines.clear();
+                    fase_writes = 0;
+                }
+                AbsOp::FaseEnd { .. } => {
+                    lines_written_total += fase_lines.len() as u64;
+                    if fase_writes == 0 {
+                        read_only += 1;
+                    }
+                }
+                AbsOp::LogWrite { addr, .. } | AbsOp::DataWrite { addr, .. } => {
+                    ops += 1;
+                    stores += 1;
+                    fase_writes += 1;
+                    fase_lines.insert(addr.line());
+                    footprint.insert(addr.line());
+                }
+                AbsOp::PmRead { .. } => {
+                    ops += 1;
+                    reads += 1;
+                }
+                AbsOp::LogOrder | AbsOp::DataOrder => {
+                    ops += 1;
+                    orders += 1;
+                }
+                AbsOp::LockAcquire { .. } => {
+                    ops += 1;
+                    locks += 1;
+                }
+                _ => ops += 1,
+            }
+        }
+    }
+
+    let f = fases.max(1) as f64;
+    ProgramProfile {
+        fases,
+        ops_per_fase: ops as f64 / f,
+        pm_stores_per_fase: stores as f64 / f,
+        pm_reads_per_fase: reads as f64 / f,
+        ordering_points_per_fase: orders as f64 / f,
+        locks_per_fase: locks as f64 / f,
+        lines_written_per_fase: lines_written_total as f64 / f,
+        written_footprint_lines: footprint.len() as u64,
+        read_only_fraction: read_only as f64 / f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, WorkloadParams};
+
+    #[test]
+    fn tatp_fases_are_small() {
+        let g = Benchmark::Tatp.generate(&WorkloadParams::small(2).with_fases(50));
+        let p = profile(&g.program);
+        assert_eq!(p.fases, 100);
+        assert!(p.pm_stores_per_fase < 10.0, "{p:?}");
+        assert!(p.ordering_points_per_fase >= 2.0, "log + data order");
+        assert!((p.locks_per_fase - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memcached_fases_are_large() {
+        let g = Benchmark::Memcached.generate(&WorkloadParams::small(2).with_fases(40));
+        let p = profile(&g.program);
+        // SETs move a kilobyte; the mix average stays large.
+        assert!(p.pm_stores_per_fase > 100.0, "{p:?}");
+    }
+
+    #[test]
+    fn hashmap_has_read_only_lookups() {
+        let g = Benchmark::Hashmap.generate(&WorkloadParams::small(2).with_fases(200));
+        let p = profile(&g.program);
+        assert!(p.read_only_fraction > 0.25, "{p:?}");
+        assert!(p.read_only_fraction < 0.75, "{p:?}");
+    }
+
+    #[test]
+    fn footprints_are_positive_and_bounded() {
+        for b in Benchmark::ALL {
+            let g = b.generate(&WorkloadParams::small(2).with_fases(20));
+            let p = profile(&g.program);
+            assert!(p.written_footprint_lines > 0, "{b}");
+            assert!(p.lines_written_per_fase >= 0.0, "{b}");
+            assert!(p.ops_per_fase > 0.0, "{b}");
+        }
+    }
+}

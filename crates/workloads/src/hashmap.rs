@@ -1,0 +1,151 @@
+//! Hashmap: read/update values in a hashmap (Table 4, after DPO's
+//! microbenchmark).
+//!
+//! An open-addressed table of 64-byte buckets in PM, striped over 64
+//! locks. Half the FASEs are read-only lookups; the other half update a
+//! bucket's value under undo logging — the paper's "read/update values"
+//! mix. Bucket contents race across threads (last-writer-wins), so only
+//! structural properties are checked, not final values.
+
+use std::collections::HashMap;
+
+use pmemspec_engine::SimRng;
+use pmemspec_isa::abs::{AbsProgram, AbsThread};
+use pmemspec_isa::addr::Addr;
+use pmemspec_isa::{log_mix, LockId};
+use pmemspec_runtime::{LogLayout, UndoLog};
+
+use crate::{GeneratedWorkload, WorkloadParams};
+
+/// Buckets in the table.
+const BUCKETS: u64 = 1024;
+/// Words per bucket (64 bytes: one key word + seven value words).
+const BUCKET_WORDS: u64 = 8;
+/// Lock stripes.
+const STRIPES: u64 = 64;
+/// Distinct keys the workload draws from.
+const KEYS: u64 = 2048;
+
+fn bucket_of(key: u64) -> u64 {
+    log_mix(key) % BUCKETS
+}
+
+/// Generates the workload.
+pub fn generate(params: &WorkloadParams) -> GeneratedWorkload {
+    let threads = params.threads;
+    let layout = LogLayout::new(0, threads, 4, BUCKET_WORDS as usize);
+    let undo = UndoLog::new(layout);
+    let table = Addr::pm(layout.end_offset().next_multiple_of(4096));
+    let bucket_addr = |b: u64| table.offset(b * BUCKET_WORDS * 8);
+
+    let mut rng = SimRng::seed_from_u64(params.seed);
+    let mut program = AbsProgram::new();
+
+    for tid in 0..threads {
+        let mut trng = rng.fork();
+        let mut t = AbsThread::new();
+        for fase_no in 0..params.fases_per_thread as u64 {
+            let key = trng.gen_range(KEYS);
+            let bucket = bucket_addr(bucket_of(key));
+            let stripe = LockId((bucket_of(key) % STRIPES) as u32);
+            let update = trng.gen_ratio(1, 2);
+            t.begin_fase();
+            t.acquire(stripe);
+            // Probe: read the key word, then the value words.
+            t.pm_read(bucket);
+            for w in 1..BUCKET_WORDS {
+                t.pm_read(bucket.offset(w * 8));
+            }
+            t.compute(30); // key comparison + value processing
+            if update {
+                let targets: Vec<Addr> = (0..BUCKET_WORDS).map(|w| bucket.offset(w * 8)).collect();
+                undo.emit_log(&mut t, tid, fase_no, &targets);
+                t.data_write(bucket, key);
+                for w in 1..BUCKET_WORDS {
+                    t.data_write(bucket.offset(w * 8), (key << 8) | w);
+                }
+                undo.emit_truncate(&mut t, tid, fase_no);
+            }
+            t.release(stripe);
+            t.end_fase();
+        }
+        program.add_thread(t);
+    }
+
+    GeneratedWorkload {
+        program,
+        undo: Some(undo),
+        redo: None,
+        expected_final: HashMap::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_isa::abs::AbsOp;
+
+    #[test]
+    fn mix_is_roughly_half_updates() {
+        let g = generate(&WorkloadParams::small(2).with_fases(200));
+        let updates: usize = g
+            .program
+            .threads()
+            .map(|ops| {
+                ops.iter()
+                    .filter(|o| matches!(o, AbsOp::DataWrite { .. }))
+                    .count()
+            })
+            .sum::<usize>()
+            / BUCKET_WORDS as usize;
+        assert!(
+            (120..280).contains(&updates),
+            "got {updates} updates of 400 FASEs"
+        );
+    }
+
+    #[test]
+    fn lock_stripe_matches_bucket() {
+        let params = WorkloadParams::small(1).with_fases(50);
+        let g = generate(&params);
+        let layout = *g.undo.expect("undo workload").layout();
+        let table = Addr::pm(layout.end_offset().next_multiple_of(4096));
+        let ops = g.program.thread(0);
+        // Every acquired stripe must equal the hashed bucket of the first
+        // read that follows.
+        let mut last_lock = None;
+        for op in ops {
+            match *op {
+                AbsOp::LockAcquire { lock } => last_lock = Some(lock),
+                AbsOp::PmRead { addr } => {
+                    if let Some(LockId(stripe)) = last_lock.take() {
+                        let bucket = (addr.raw() - table.raw()) / (BUCKET_WORDS * 8);
+                        assert_eq!(u64::from(stripe), bucket % STRIPES);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_fases_have_no_log_writes() {
+        let g = generate(&WorkloadParams::small(1).with_fases(100));
+        let ops = g.program.thread(0);
+        let mut in_fase_writes = 0usize;
+        let mut read_only_fases = 0usize;
+        for op in ops {
+            match op {
+                AbsOp::FaseBegin { .. } => in_fase_writes = 0,
+                AbsOp::LogWrite { .. } => in_fase_writes += 1,
+                AbsOp::FaseEnd { .. } => {
+                    if in_fase_writes == 0 {
+                        read_only_fases += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(read_only_fases > 20, "roughly half the FASEs are lookups");
+    }
+}

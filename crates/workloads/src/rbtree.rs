@@ -1,0 +1,590 @@
+//! RB-Tree: insert/delete entries in a red-black tree (Table 4).
+//!
+//! A complete CLRS red-black tree (insert, delete, rotations, fixups,
+//! sentinel nil) runs on the host during generation; **every node-field
+//! access it performs is traced** into the program as a PM read or write,
+//! so the simulated access pattern — root-to-leaf descents, rotation
+//! write bursts, recoloring chains — is the real thing, with real pointer
+//! values. Each FASE searches for a random key and inserts it if absent
+//! or deletes it if present (the DPO/NV-Heaps microbenchmark contract).
+//!
+//! Trees are per-thread (disjoint key spaces), which keeps final contents
+//! interleaving-independent; the expected final state is the serialized
+//! host tree.
+
+use std::collections::HashMap;
+
+use pmemspec_engine::SimRng;
+use pmemspec_isa::abs::{AbsProgram, AbsThread};
+use pmemspec_isa::addr::Addr;
+use pmemspec_runtime::{LogLayout, UndoLog};
+
+use crate::{GeneratedWorkload, WorkloadParams};
+
+/// Node fields, one word each; two pad words round the node to 64 bytes.
+const KEY: usize = 0;
+const VAL: usize = 1;
+const LEFT: usize = 2;
+const RIGHT: usize = 3;
+const PARENT: usize = 4;
+const COLOR: usize = 5;
+
+const BLACK: u64 = 0;
+const RED: u64 = 1;
+
+/// Sentinel node id (CLRS `nil`).
+const NIL: u64 = 0;
+
+/// Distinct keys each thread draws from.
+const KEYS: u64 = 512;
+
+/// A red-black tree that records every field access.
+#[derive(Debug, Clone)]
+pub struct TracedTree {
+    nodes: Vec<[u64; 8]>,
+    root: u64,
+    free: Vec<u64>,
+    reads: Vec<(u64, usize)>,
+    writes: Vec<(u64, usize, u64)>,
+}
+
+impl Default for TracedTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TracedTree {
+    /// An empty tree (node 0 is the black sentinel).
+    pub fn new() -> Self {
+        TracedTree {
+            nodes: vec![[0, 0, NIL, NIL, NIL, BLACK, 0, 0]],
+            root: NIL,
+            free: Vec::new(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn read(&mut self, n: u64, f: usize) -> u64 {
+        self.reads.push((n, f));
+        self.nodes[n as usize][f]
+    }
+
+    fn write(&mut self, n: u64, f: usize, v: u64) {
+        self.writes.push((n, f, v));
+        self.nodes[n as usize][f] = v;
+    }
+
+    fn alloc(&mut self) -> u64 {
+        if let Some(id) = self.free.pop() {
+            id
+        } else {
+            self.nodes.push([0; 8]);
+            (self.nodes.len() - 1) as u64
+        }
+    }
+
+    /// Takes the accesses recorded since the last drain.
+    pub fn drain_trace(&mut self) -> (Vec<(u64, usize)>, Vec<(u64, usize, u64)>) {
+        (
+            std::mem::take(&mut self.reads),
+            std::mem::take(&mut self.writes),
+        )
+    }
+
+    fn rotate_left(&mut self, x: u64) {
+        let y = self.read(x, RIGHT);
+        let yl = self.read(y, LEFT);
+        self.write(x, RIGHT, yl);
+        if yl != NIL {
+            self.write(yl, PARENT, x);
+        }
+        let xp = self.read(x, PARENT);
+        self.write(y, PARENT, xp);
+        if xp == NIL {
+            self.root = y;
+        } else if self.read(xp, LEFT) == x {
+            self.write(xp, LEFT, y);
+        } else {
+            self.write(xp, RIGHT, y);
+        }
+        self.write(y, LEFT, x);
+        self.write(x, PARENT, y);
+    }
+
+    fn rotate_right(&mut self, x: u64) {
+        let y = self.read(x, LEFT);
+        let yr = self.read(y, RIGHT);
+        self.write(x, LEFT, yr);
+        if yr != NIL {
+            self.write(yr, PARENT, x);
+        }
+        let xp = self.read(x, PARENT);
+        self.write(y, PARENT, xp);
+        if xp == NIL {
+            self.root = y;
+        } else if self.read(xp, RIGHT) == x {
+            self.write(xp, RIGHT, y);
+        } else {
+            self.write(xp, LEFT, y);
+        }
+        self.write(y, RIGHT, x);
+        self.write(x, PARENT, y);
+    }
+
+    /// Finds `key`, tracing the descent.
+    pub fn search(&mut self, key: u64) -> Option<u64> {
+        let mut n = self.root;
+        while n != NIL {
+            let k = self.read(n, KEY);
+            if key == k {
+                return Some(n);
+            }
+            n = if key < k {
+                self.read(n, LEFT)
+            } else {
+                self.read(n, RIGHT)
+            };
+        }
+        None
+    }
+
+    /// Inserts `key` (caller guarantees absence); returns the node.
+    pub fn insert(&mut self, key: u64, value: u64) -> u64 {
+        let mut parent = NIL;
+        let mut cur = self.root;
+        while cur != NIL {
+            parent = cur;
+            let k = self.read(cur, KEY);
+            cur = if key < k {
+                self.read(cur, LEFT)
+            } else {
+                self.read(cur, RIGHT)
+            };
+        }
+        let z = self.alloc();
+        self.write(z, KEY, key);
+        self.write(z, VAL, value);
+        self.write(z, LEFT, NIL);
+        self.write(z, RIGHT, NIL);
+        self.write(z, PARENT, parent);
+        self.write(z, COLOR, RED);
+        if parent == NIL {
+            self.root = z;
+        } else if key < self.read(parent, KEY) {
+            self.write(parent, LEFT, z);
+        } else {
+            self.write(parent, RIGHT, z);
+        }
+        self.insert_fixup(z);
+        z
+    }
+
+    fn insert_fixup(&mut self, mut z: u64) {
+        loop {
+            let zp = self.read(z, PARENT);
+            if zp == NIL || self.read(zp, COLOR) != RED {
+                break;
+            }
+            let zpp = self.read(zp, PARENT);
+            if zp == self.read(zpp, LEFT) {
+                let y = self.read(zpp, RIGHT);
+                if y != NIL && self.read(y, COLOR) == RED {
+                    self.write(zp, COLOR, BLACK);
+                    self.write(y, COLOR, BLACK);
+                    self.write(zpp, COLOR, RED);
+                    z = zpp;
+                } else {
+                    if z == self.read(zp, RIGHT) {
+                        z = zp;
+                        self.rotate_left(z);
+                    }
+                    let zp = self.read(z, PARENT);
+                    let zpp = self.read(zp, PARENT);
+                    self.write(zp, COLOR, BLACK);
+                    self.write(zpp, COLOR, RED);
+                    self.rotate_right(zpp);
+                }
+            } else {
+                let y = self.read(zpp, LEFT);
+                if y != NIL && self.read(y, COLOR) == RED {
+                    self.write(zp, COLOR, BLACK);
+                    self.write(y, COLOR, BLACK);
+                    self.write(zpp, COLOR, RED);
+                    z = zpp;
+                } else {
+                    if z == self.read(zp, LEFT) {
+                        z = zp;
+                        self.rotate_right(z);
+                    }
+                    let zp = self.read(z, PARENT);
+                    let zpp = self.read(zp, PARENT);
+                    self.write(zp, COLOR, BLACK);
+                    self.write(zpp, COLOR, RED);
+                    self.rotate_left(zpp);
+                }
+            }
+        }
+        let root = self.root;
+        if self.read(root, COLOR) != BLACK {
+            self.write(root, COLOR, BLACK);
+        }
+    }
+
+    fn transplant(&mut self, u: u64, v: u64) {
+        let up = self.read(u, PARENT);
+        if up == NIL {
+            self.root = v;
+        } else if u == self.read(up, LEFT) {
+            self.write(up, LEFT, v);
+        } else {
+            self.write(up, RIGHT, v);
+        }
+        // CLRS assigns v.parent unconditionally (the sentinel absorbs it).
+        self.write(v, PARENT, up);
+    }
+
+    fn minimum(&mut self, mut n: u64) -> u64 {
+        loop {
+            let l = self.read(n, LEFT);
+            if l == NIL {
+                return n;
+            }
+            n = l;
+        }
+    }
+
+    /// Deletes node `z` (from a prior [`TracedTree::search`]).
+    pub fn delete(&mut self, z: u64) {
+        let mut y = z;
+        let mut y_color = self.read(y, COLOR);
+        let x;
+        if self.read(z, LEFT) == NIL {
+            x = self.read(z, RIGHT);
+            self.transplant(z, x);
+        } else if self.read(z, RIGHT) == NIL {
+            x = self.read(z, LEFT);
+            self.transplant(z, x);
+        } else {
+            let zr = self.read(z, RIGHT);
+            y = self.minimum(zr);
+            y_color = self.read(y, COLOR);
+            x = self.read(y, RIGHT);
+            if self.read(y, PARENT) == z {
+                self.write(x, PARENT, y);
+            } else {
+                let yr = self.read(y, RIGHT);
+                self.transplant(y, yr);
+                let zr = self.read(z, RIGHT);
+                self.write(y, RIGHT, zr);
+                self.write(zr, PARENT, y);
+            }
+            self.transplant(z, y);
+            let zl = self.read(z, LEFT);
+            self.write(y, LEFT, zl);
+            self.write(zl, PARENT, y);
+            let zc = self.read(z, COLOR);
+            self.write(y, COLOR, zc);
+        }
+        if y_color == BLACK {
+            self.delete_fixup(x);
+        }
+        self.free.push(z);
+    }
+
+    fn delete_fixup(&mut self, mut x: u64) {
+        while x != self.root && self.read(x, COLOR) == BLACK {
+            let xp = self.read(x, PARENT);
+            if x == self.read(xp, LEFT) {
+                let mut w = self.read(xp, RIGHT);
+                if self.read(w, COLOR) == RED {
+                    self.write(w, COLOR, BLACK);
+                    self.write(xp, COLOR, RED);
+                    self.rotate_left(xp);
+                    let xp = self.read(x, PARENT);
+                    w = self.read(xp, RIGHT);
+                }
+                let wl = self.read(w, LEFT);
+                let wr = self.read(w, RIGHT);
+                if self.read(wl, COLOR) == BLACK && self.read(wr, COLOR) == BLACK {
+                    self.write(w, COLOR, RED);
+                    x = self.read(x, PARENT);
+                } else {
+                    if self.read(wr, COLOR) == BLACK {
+                        self.write(wl, COLOR, BLACK);
+                        self.write(w, COLOR, RED);
+                        self.rotate_right(w);
+                        let xp = self.read(x, PARENT);
+                        w = self.read(xp, RIGHT);
+                    }
+                    let xp = self.read(x, PARENT);
+                    let xpc = self.read(xp, COLOR);
+                    self.write(w, COLOR, xpc);
+                    self.write(xp, COLOR, BLACK);
+                    let wr = self.read(w, RIGHT);
+                    self.write(wr, COLOR, BLACK);
+                    self.rotate_left(xp);
+                    x = self.root;
+                }
+            } else {
+                let mut w = self.read(xp, LEFT);
+                if self.read(w, COLOR) == RED {
+                    self.write(w, COLOR, BLACK);
+                    self.write(xp, COLOR, RED);
+                    self.rotate_right(xp);
+                    let xp = self.read(x, PARENT);
+                    w = self.read(xp, LEFT);
+                }
+                let wl = self.read(w, LEFT);
+                let wr = self.read(w, RIGHT);
+                if self.read(wr, COLOR) == BLACK && self.read(wl, COLOR) == BLACK {
+                    self.write(w, COLOR, RED);
+                    x = self.read(x, PARENT);
+                } else {
+                    if self.read(wl, COLOR) == BLACK {
+                        self.write(wr, COLOR, BLACK);
+                        self.write(w, COLOR, RED);
+                        self.rotate_left(w);
+                        let xp = self.read(x, PARENT);
+                        w = self.read(xp, LEFT);
+                    }
+                    let xp = self.read(x, PARENT);
+                    let xpc = self.read(xp, COLOR);
+                    self.write(w, COLOR, xpc);
+                    self.write(xp, COLOR, BLACK);
+                    let wl = self.read(w, LEFT);
+                    self.write(wl, COLOR, BLACK);
+                    self.rotate_right(xp);
+                    x = self.root;
+                }
+            }
+        }
+        self.write(x, COLOR, BLACK);
+    }
+
+    /// In-order keys (validation helper).
+    pub fn keys(&self) -> Vec<u64> {
+        fn walk(t: &TracedTree, n: u64, out: &mut Vec<u64>) {
+            if n == NIL {
+                return;
+            }
+            walk(t, t.nodes[n as usize][LEFT], out);
+            out.push(t.nodes[n as usize][KEY]);
+            walk(t, t.nodes[n as usize][RIGHT], out);
+        }
+        let mut out = Vec::new();
+        walk(self, self.root, &mut out);
+        out
+    }
+
+    /// Checks the red-black invariants; returns the black height.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn check_invariants(&self) -> usize {
+        fn walk(t: &TracedTree, n: u64) -> usize {
+            if n == NIL {
+                return 1;
+            }
+            let node = &t.nodes[n as usize];
+            let (l, r) = (node[LEFT], node[RIGHT]);
+            if node[COLOR] == RED {
+                assert_eq!(
+                    t.nodes[l as usize][COLOR], BLACK,
+                    "red node with red left child"
+                );
+                assert_eq!(
+                    t.nodes[r as usize][COLOR], BLACK,
+                    "red node with red right child"
+                );
+            }
+            if l != NIL {
+                assert!(t.nodes[l as usize][KEY] < node[KEY], "BST order violated");
+            }
+            if r != NIL {
+                assert!(t.nodes[r as usize][KEY] > node[KEY], "BST order violated");
+            }
+            let lb = walk(t, l);
+            let rb = walk(t, r);
+            assert_eq!(lb, rb, "black heights diverge");
+            lb + usize::from(node[COLOR] == BLACK)
+        }
+        if self.root == NIL {
+            return 1;
+        }
+        assert_eq!(self.nodes[self.root as usize][COLOR], BLACK, "red root");
+        walk(self, self.root)
+    }
+
+    /// All live node contents (id, fields), for expected-state export.
+    fn live_nodes(&self) -> Vec<(u64, [u64; 8])> {
+        fn walk(t: &TracedTree, n: u64, out: &mut Vec<(u64, [u64; 8])>) {
+            if n == NIL {
+                return;
+            }
+            out.push((n, t.nodes[n as usize]));
+            walk(t, t.nodes[n as usize][LEFT], out);
+            walk(t, t.nodes[n as usize][RIGHT], out);
+        }
+        let mut out = Vec::new();
+        walk(self, self.root, &mut out);
+        out
+    }
+}
+
+/// Generates the workload.
+pub fn generate(params: &WorkloadParams) -> GeneratedWorkload {
+    let threads = params.threads;
+    // Rotation bursts touch a dozen nodes; allow up to 48 logged words.
+    let layout = LogLayout::new(0, threads, 4, 48);
+    let undo = UndoLog::new(layout);
+    let data_base = Addr::pm(layout.end_offset().next_multiple_of(4096));
+    // Each thread's node arena: up to KEYS+1 nodes of 64 B.
+    let arena_bytes = (KEYS + 2) * 64;
+    let node_addr = |tid: u64, node: u64, field: usize| {
+        data_base.offset(tid * arena_bytes + node * 64 + field as u64 * 8)
+    };
+
+    let mut rng = SimRng::seed_from_u64(params.seed);
+    let mut program = AbsProgram::new();
+    let mut expected = HashMap::new();
+
+    for tid in 0..threads as u64 {
+        let mut trng = rng.fork();
+        let mut t = AbsThread::new();
+        let mut tree = TracedTree::new();
+        for fase_no in 0..params.fases_per_thread as u64 {
+            let key = trng.gen_range(KEYS) + 1; // keys are 1-based, 0 is "empty"
+            t.begin_fase();
+            let found = tree.search(key);
+            match found {
+                Some(node) => tree.delete(node),
+                None => {
+                    tree.insert(key, (tid << 32) | key);
+                }
+            }
+            let (reads, writes) = tree.drain_trace();
+            for (n, f) in reads {
+                t.pm_read(node_addr(tid, n, f));
+            }
+            t.compute(20);
+            // Undo-log the final set of modified words, then apply the
+            // writes in traced order with their final values.
+            let mut targets: Vec<Addr> = Vec::new();
+            let mut finals: HashMap<Addr, u64> = HashMap::new();
+            let mut order: Vec<Addr> = Vec::new();
+            for (n, f, v) in writes {
+                let a = node_addr(tid, n, f);
+                if finals.insert(a, v).is_none() {
+                    targets.push(a);
+                    order.push(a);
+                }
+            }
+            undo.emit_log(&mut t, tid as usize, fase_no, &targets);
+            for a in order {
+                t.data_write(a, finals[&a]);
+            }
+            undo.emit_truncate(&mut t, tid as usize, fase_no);
+            t.end_fase();
+        }
+        tree.check_invariants();
+        for (n, fields) in tree.live_nodes() {
+            for (f, &v) in fields.iter().enumerate().take(6) {
+                expected.insert(node_addr(tid, n, f), v);
+            }
+        }
+        program.add_thread(t);
+    }
+
+    GeneratedWorkload {
+        program,
+        undo: Some(undo),
+        redo: None,
+        expected_final: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_sorts_and_balances() {
+        let mut tree = TracedTree::new();
+        for key in [41u64, 38, 31, 12, 19, 8, 55, 3, 27, 99, 60, 70] {
+            tree.insert(key, key);
+        }
+        assert_eq!(
+            tree.keys(),
+            vec![3, 8, 12, 19, 27, 31, 38, 41, 55, 60, 70, 99]
+        );
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn delete_preserves_invariants() {
+        let mut tree = TracedTree::new();
+        for key in 1..=64u64 {
+            tree.insert(key * 7 % 67, key);
+        }
+        tree.check_invariants();
+        for key in [7u64, 14, 21, 35, 63, 3, 66] {
+            if let Some(n) = tree.search(key) {
+                tree.delete(n);
+                tree.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn insert_then_delete_everything_empties_the_tree() {
+        let mut tree = TracedTree::new();
+        let keys: Vec<u64> = (1..=40).map(|k| k * 13 % 97 + 1).collect();
+        let mut inserted = std::collections::HashSet::new();
+        for &k in &keys {
+            if inserted.insert(k) {
+                tree.insert(k, k);
+            }
+        }
+        for &k in &keys {
+            if inserted.remove(&k) {
+                let n = tree.search(k).expect("present");
+                tree.delete(n);
+                tree.check_invariants();
+            }
+        }
+        assert!(tree.keys().is_empty());
+    }
+
+    #[test]
+    fn workload_generates_and_traces() {
+        let g = generate(&WorkloadParams::small(2).with_fases(30));
+        assert_eq!(g.program.thread_count(), 2);
+        assert!(!g.expected_final.is_empty() || g.program.len() > 0);
+        // Descents produce plenty of reads.
+        let reads = g
+            .program
+            .threads()
+            .flat_map(|ops| ops.iter())
+            .filter(|o| matches!(o, pmemspec_isa::abs::AbsOp::PmRead { .. }))
+            .count();
+        assert!(reads > 100, "got {reads} traced reads");
+    }
+
+    #[test]
+    fn node_zero_is_reserved_for_the_sentinel() {
+        let g = generate(&WorkloadParams::small(1).with_fases(20));
+        // The sentinel's key/value words are never data-written... except
+        // its PARENT/COLOR, which CLRS mutates through the sentinel.
+        for ops in g.program.threads() {
+            for op in ops {
+                if let pmemspec_isa::abs::AbsOp::DataWrite { addr, .. } = op {
+                    // Nothing writes before the log region's end.
+                    assert!(addr.raw() >= Addr::pm(0).raw());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Synthetic programs for §8.4 (misspeculation rates) and the Figure 4
+//! detection ablation.
+//!
+//! * [`load_misspec_inducer`] — the paper's hand-written pattern that can
+//!   produce a PM load misspeculation: update a block, force it out of
+//!   the L1 *and* the LLC with conflicting accesses, then load it again
+//!   immediately. The reload only fetches stale data when the persist
+//!   path is slower than the whole eviction storm, which is why the paper
+//!   observes misspeculation only at ~10× persist-path latency.
+//!
+//! * [`store_miss_streamer`] — streams stores across fresh cache lines so
+//!   that every store triggers a write-allocate fetch; under the
+//!   fetch-based detection strawman each fetch is flagged as a
+//!   misspeculation when the store's own persist arrives (Figure 4),
+//!   while eviction-based detection stays silent.
+
+use pmemspec_engine::SimConfig;
+use pmemspec_isa::abs::{AbsProgram, AbsThread};
+use pmemspec_isa::addr::{Addr, LINE_BYTES};
+use pmemspec_isa::ValueSrc;
+use pmemspec_runtime::{LogLayout, UndoLog};
+
+/// A single-thread program that stores to a victim line, evicts it from
+/// the entire hierarchy via set-conflicting loads, and reloads it within
+/// the persist window. `iterations` FASEs are generated.
+///
+/// The conflict addresses are derived from `cfg`'s cache geometry: lines
+/// spaced by `llc_sets × line` collide in both the L1 and the LLC
+/// (both have power-of-two set counts, and the L1's divides the LLC's).
+pub fn load_misspec_inducer(cfg: &SimConfig, iterations: usize) -> AbsProgram {
+    let layout = LogLayout::new(0, 1, 4, 8);
+    let undo = UndoLog::new(layout);
+    let llc_sets = cfg.llc.sets() as u64;
+    let l1_ways = cfg.l1.ways as u64;
+    let llc_ways = cfg.llc.ways as u64;
+    // Enough conflicting lines to push the victim out of a 4-way L1 set
+    // and a 16-way LLC set, with margin.
+    let conflicts = l1_ways + llc_ways + 2;
+    let stride = llc_sets * LINE_BYTES;
+    let base = Addr::pm(layout.end_offset().next_multiple_of(stride.max(4096)));
+    let victim = base;
+
+    let mut t = AbsThread::new();
+    for i in 0..iterations as u64 {
+        t.begin_fase();
+        // 1. Dirty the victim line.
+        undo.emit_log(&mut t, 0, i, &[victim]);
+        t.data_write(victim, i + 1);
+        // 2. Conflict storm: walk lines mapping to the victim's sets.
+        for c in 1..=conflicts {
+            t.pm_read(base.offset(c * stride));
+        }
+        // 3. Immediate reload — stale if the persist is still in flight.
+        t.pm_read(victim);
+        undo.emit_truncate(&mut t, 0, i);
+        t.end_fase();
+    }
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    p
+}
+
+/// A single-thread store stream touching a fresh line per store, all
+/// inside undo-logged FASEs: `fases × stores_per_fase` write-allocate
+/// fetches in total.
+pub fn store_miss_streamer(fases: usize, stores_per_fase: usize) -> AbsProgram {
+    let layout = LogLayout::new(0, 1, 4, stores_per_fase.max(1));
+    let undo = UndoLog::new(layout);
+    let base = Addr::pm(layout.end_offset().next_multiple_of(4096));
+    let mut t = AbsThread::new();
+    let mut line = 0u64;
+    for fase_no in 0..fases as u64 {
+        t.begin_fase();
+        let targets: Vec<Addr> = (0..stores_per_fase as u64)
+            .map(|k| base.offset((line + k) * LINE_BYTES))
+            .collect();
+        undo.emit_log(&mut t, 0, fase_no, &targets);
+        for (k, &a) in targets.iter().enumerate() {
+            t.data_write(a, ValueSrc::imm(fase_no << 16 | k as u64));
+        }
+        undo.emit_truncate(&mut t, 0, fase_no);
+        t.end_fase();
+        line += stores_per_fase as u64;
+    }
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    p
+}
+
+/// The load-misspeculation inducer wrapped in a *long* FASE: `segments`
+/// expensive prefix regions (compute + logged writes), optionally
+/// separated by §6.3 checkpoints, followed by the store-evict-reload
+/// pattern that misspeculates at high persist-path latency. With
+/// checkpoints, recovery re-executes only the final region; without, the
+/// whole FASE.
+pub fn long_fase_inducer(
+    cfg: &SimConfig,
+    iterations: usize,
+    segments: usize,
+    checkpoints: bool,
+) -> AbsProgram {
+    let layout = LogLayout::new(0, 1, 4, 8 + segments);
+    let undo = UndoLog::new(layout);
+    let llc_sets = cfg.llc.sets() as u64;
+    let conflicts = (cfg.l1.ways + cfg.llc.ways + 2) as u64;
+    let stride = llc_sets * LINE_BYTES;
+    let base = Addr::pm(layout.end_offset().next_multiple_of(stride.max(4096)));
+    let victim = base;
+    let work = Addr::pm(base.raw() - (1u64 << 40) + 64 * 1024);
+
+    let mut t = AbsThread::new();
+    for i in 0..iterations as u64 {
+        t.begin_fase();
+        let mut targets: Vec<Addr> = (0..segments as u64).map(|s| work.offset(s * 64)).collect();
+        targets.push(victim);
+        undo.emit_log(&mut t, 0, i, &targets);
+        // Expensive prefix regions the recovery should not repeat.
+        for (s, &w) in targets.iter().take(segments).enumerate() {
+            t.compute(400);
+            t.data_write(w, (i << 8) | s as u64);
+            if checkpoints {
+                t.checkpoint();
+            }
+        }
+        // The misspeculating tail region.
+        t.data_write(victim, i + 1);
+        for c in 1..=conflicts {
+            t.pm_read(base.offset(c * stride));
+        }
+        t.pm_read(victim);
+        undo.emit_truncate(&mut t, 0, i);
+        t.end_fase();
+    }
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    p
+}
+
+/// A single-thread program for the §7 multi-controller experiment: each
+/// FASE floods one controller's persist route with a burst of stores,
+/// then writes a "log" word on the flooded controller followed by a
+/// "data" word on the idle one. With an order-preserving network the two
+/// words always persist in program order; with independent per-controller
+/// routes the data word overtakes the log word — a strict-persistency
+/// violation no per-controller speculation buffer can see.
+pub fn cross_controller_inversion(controllers: usize, iterations: usize) -> AbsProgram {
+    assert!(
+        controllers >= 2,
+        "the hazard needs at least two controllers"
+    );
+    let layout = LogLayout::new(0, 1, 4, 2);
+    let undo = UndoLog::new(layout);
+    let base = Addr::pm(layout.end_offset().next_multiple_of(4096));
+    let n = controllers as u64;
+    // Lines are interleaved line-index % controllers: build per-controller
+    // line pickers.
+    let line_on = |ctrl: u64, k: u64| {
+        let start = base.line().raw();
+        // First line at or after `start` served by `ctrl`.
+        let first = start + ((ctrl + n - start % n) % n);
+        Addr::new((first + k * n) * LINE_BYTES)
+    };
+    let mut t = AbsThread::new();
+    for i in 0..iterations as u64 {
+        t.begin_fase();
+        undo.emit_log(&mut t, 0, i, &[line_on(0, 2), line_on(1, 2)]);
+        // Flood controller 0: 120 distinct lines (cache-warm after the
+        // first iteration, so the store queue drains them at full rate,
+        // and more than both the 64-entry write-pending queue and its
+        // coalescing window) — acceptance on controller 0 backs up while
+        // controller 1 sits idle.
+        for k in 0..120u64 {
+            t.data_write(line_on(0, 16 + k), (i << 16) | k);
+        }
+        // The ordered pair: "log" on the congested controller, "data" on
+        // the idle one.
+        t.data_write(line_on(0, 2), i + 1);
+        t.data_write(line_on(1, 2), i + 1);
+        undo.emit_truncate(&mut t, 0, i);
+        t.end_fase();
+    }
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_isa::abs::AbsOp;
+
+    #[test]
+    fn inducer_pattern_shape() {
+        let cfg = SimConfig::asplos21(1);
+        let p = load_misspec_inducer(&cfg, 3);
+        let ops = p.thread(0);
+        // Per FASE: one data write to the victim, conflicts+1 reads.
+        let reads = ops
+            .iter()
+            .filter(|o| matches!(o, AbsOp::PmRead { .. }))
+            .count();
+        let conflicts = cfg.l1.ways + cfg.llc.ways + 2;
+        assert_eq!(reads, 3 * (conflicts + 1));
+    }
+
+    #[test]
+    fn conflict_addresses_share_the_victim_set() {
+        let cfg = SimConfig::asplos21(1);
+        let p = load_misspec_inducer(&cfg, 1);
+        let llc_sets = cfg.llc.sets() as u64;
+        let reads: Vec<u64> = p
+            .thread(0)
+            .iter()
+            .filter_map(|o| match o {
+                AbsOp::PmRead { addr } => Some(addr.line().raw() % llc_sets),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            reads.windows(2).all(|w| w[0] == w[1]),
+            "all reads hit one LLC set"
+        );
+    }
+
+    #[test]
+    fn streamer_touches_fresh_lines() {
+        let p = store_miss_streamer(4, 8);
+        let mut seen = std::collections::HashSet::new();
+        for op in p.thread(0) {
+            if let AbsOp::DataWrite { addr, .. } = op {
+                assert!(seen.insert(addr.line()), "each store targets a fresh line");
+            }
+        }
+        assert_eq!(seen.len(), 32);
+    }
+}

@@ -1,0 +1,114 @@
+//! TATP: the update-location transaction (Table 4).
+//!
+//! The Telecom Application Transaction Processing benchmark's
+//! `UPDATE_LOCATION` transaction looks up a subscriber row by id and
+//! overwrites its `vlr_location` column. Rows are 64 bytes; a striped
+//! row-lock protects each group of subscribers. FASEs are short — one
+//! index read, one row read, one logged word, one write — which is why
+//! barrier-dominated designs do comparatively well here (§8.2.1).
+
+use std::collections::HashMap;
+
+use pmemspec_engine::SimRng;
+use pmemspec_isa::abs::{AbsProgram, AbsThread};
+use pmemspec_isa::addr::Addr;
+use pmemspec_isa::{log_mix, LockId};
+use pmemspec_runtime::{LogLayout, UndoLog};
+
+use crate::{GeneratedWorkload, WorkloadParams};
+
+/// Subscriber rows.
+const SUBSCRIBERS: u64 = 2048;
+/// Words per row.
+const ROW_WORDS: u64 = 8;
+/// The `vlr_location` column.
+const VLR_LOCATION: u64 = 5;
+/// Lock stripes.
+const STRIPES: u64 = 64;
+
+/// Generates the workload.
+pub fn generate(params: &WorkloadParams) -> GeneratedWorkload {
+    let threads = params.threads;
+    let layout = LogLayout::new(0, threads, 4, 2);
+    let undo = UndoLog::new(layout);
+    let table = Addr::pm(layout.end_offset().next_multiple_of(4096));
+    let index = Addr::pm(table.raw() - (1u64 << 40) + SUBSCRIBERS * ROW_WORDS * 8);
+    let row_addr = |s: u64| table.offset(s * ROW_WORDS * 8);
+
+    let mut rng = SimRng::seed_from_u64(params.seed);
+    let mut program = AbsProgram::new();
+
+    for tid in 0..threads {
+        let mut trng = rng.fork();
+        let mut t = AbsThread::new();
+        for fase_no in 0..params.fases_per_thread as u64 {
+            let s_id = trng.gen_range(SUBSCRIBERS);
+            let row = row_addr(s_id);
+            let stripe = LockId((s_id % STRIPES) as u32);
+            let new_location = log_mix(trng.next_u64()) | 1;
+            t.begin_fase();
+            // B-tree index probe: two levels.
+            t.volatile_read(Addr::dram((s_id / 512) * 64));
+            t.pm_read(index.offset((s_id % 512) * 8));
+            t.acquire(stripe);
+            // Read the row (id check + current location).
+            t.pm_read(row);
+            t.pm_read(row.offset(VLR_LOCATION * 8));
+            t.compute(15);
+            undo.emit_log(&mut t, tid, fase_no, &[row.offset(VLR_LOCATION * 8)]);
+            t.data_write(row.offset(VLR_LOCATION * 8), new_location);
+            undo.emit_truncate(&mut t, tid, fase_no);
+            t.release(stripe);
+            t.end_fase();
+        }
+        program.add_thread(t);
+    }
+
+    GeneratedWorkload {
+        program,
+        undo: Some(undo),
+        redo: None,
+        expected_final: HashMap::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_isa::abs::AbsOp;
+
+    #[test]
+    fn fases_are_short() {
+        let g = generate(&WorkloadParams::small(1).with_fases(10));
+        let ops = g.program.thread(0);
+        let per_fase = ops.len() / 10;
+        assert!(
+            per_fase < 20,
+            "update-location is a short FASE, got {per_fase} ops"
+        );
+    }
+
+    #[test]
+    fn exactly_one_data_write_per_fase() {
+        let g = generate(&WorkloadParams::small(2).with_fases(25));
+        for ops in g.program.threads() {
+            let writes = ops
+                .iter()
+                .filter(|o| matches!(o, AbsOp::DataWrite { .. }))
+                .count();
+            assert_eq!(writes, 25);
+        }
+    }
+
+    #[test]
+    fn every_fase_locks_a_stripe() {
+        let g = generate(&WorkloadParams::small(2).with_fases(25));
+        for ops in g.program.threads() {
+            let locks = ops
+                .iter()
+                .filter(|o| matches!(o, AbsOp::LockAcquire { .. }))
+                .count();
+            assert_eq!(locks, 25);
+        }
+    }
+}

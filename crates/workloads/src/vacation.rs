@@ -1,0 +1,146 @@
+//! Vacation: the STAMP travel-reservation OLTP system, as run under
+//! Mnemosyne (Table 4).
+//!
+//! Four relation tables (cars, flights, rooms, customers) of 64-byte rows
+//! live in PM. A `make_reservation` transaction queries several random
+//! rows across the tables (the price-comparison loop), picks entries, and
+//! reserves: decrement availability and append to the customer's
+//! reservation list. Transactions run under Mnemosyne-style *redo*
+//! logging — log new values, commit, then write in place — and are the
+//! suite's "relatively long transactions" where PMEM-Spec has room to
+//! speculate (§8.2.1).
+
+use std::collections::HashMap;
+
+use pmemspec_engine::SimRng;
+use pmemspec_isa::abs::{AbsProgram, AbsThread};
+use pmemspec_isa::addr::Addr;
+use pmemspec_isa::LockId;
+use pmemspec_runtime::{LogLayout, RedoLog};
+
+use crate::{GeneratedWorkload, WorkloadParams};
+
+/// Rows per relation table.
+const ROWS: u64 = 1024;
+/// Words per row.
+const ROW_WORDS: u64 = 8;
+/// Relations: cars, flights, rooms, customers.
+const TABLES: u64 = 4;
+/// Lock stripes across all tables.
+const STRIPES: u64 = 64;
+/// Queries per transaction (the price-comparison loop).
+const QUERIES: u64 = 8;
+
+/// Generates the workload.
+pub fn generate(params: &WorkloadParams) -> GeneratedWorkload {
+    let threads = params.threads;
+    // Up to 3 reserved rows × 2 words + customer list entry.
+    let layout = LogLayout::new(0, threads, 4, 8);
+    let redo = RedoLog::new(layout);
+    let base = layout.end_offset().next_multiple_of(4096);
+    let row_addr = |table: u64, row: u64| Addr::pm(base + (table * ROWS + row) * ROW_WORDS * 8);
+
+    let mut rng = SimRng::seed_from_u64(params.seed);
+    let mut program = AbsProgram::new();
+
+    for tid in 0..threads {
+        let mut trng = rng.fork();
+        let mut t = AbsThread::new();
+        for fase_no in 0..params.fases_per_thread as u64 {
+            // Choose what to reserve: one row in 1–3 of the resource
+            // tables, plus the customer record.
+            let reservations = 1 + trng.gen_range(3);
+            let customer = trng.gen_range(ROWS);
+            let stripe = LockId((customer % STRIPES) as u32);
+            t.begin_fase();
+            t.acquire(stripe);
+            // Price-comparison queries across random tables/rows.
+            for _ in 0..QUERIES {
+                let table = trng.gen_range(TABLES - 1);
+                let row = trng.gen_range(ROWS);
+                t.pm_read(row_addr(table, row));
+                t.pm_read(row_addr(table, row).offset(16));
+                t.compute(25);
+            }
+            // Customer lookup.
+            t.pm_read(row_addr(3, customer));
+            t.compute(40);
+            // Build the redo write set: availability + price words of the
+            // reserved rows, and the customer's reservation-count word.
+            // Written rows are drawn from the acquired stripe's partition
+            // (`row ≡ customer (mod STRIPES)`), keeping the program
+            // data-race free — the assumption every persistent programming
+            // model here makes (§5.2.2).
+            let stripe_base = customer % STRIPES;
+            let mut writes: Vec<(Addr, u64)> = Vec::new();
+            for r in 0..reservations {
+                let table = trng.gen_range(TABLES - 1);
+                let row = stripe_base + trng.gen_range(ROWS / STRIPES) * STRIPES;
+                writes.push((row_addr(table, row).offset(16), fase_no << 8 | r));
+                writes.push((row_addr(table, row).offset(24), 100 + r));
+            }
+            writes.push((
+                row_addr(3, customer).offset(8),
+                (tid as u64) << 32 | fase_no,
+            ));
+            redo.emit_tx(&mut t, tid, fase_no, &writes);
+            t.release(stripe);
+            t.end_fase();
+        }
+        program.add_thread(t);
+    }
+
+    GeneratedWorkload {
+        program,
+        undo: None,
+        redo: Some(redo),
+        expected_final: HashMap::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_isa::abs::AbsOp;
+
+    #[test]
+    fn transactions_are_read_heavy() {
+        let g = generate(&WorkloadParams::small(1).with_fases(20));
+        let ops = g.program.thread(0);
+        let reads = ops
+            .iter()
+            .filter(|o| matches!(o, AbsOp::PmRead { .. }))
+            .count();
+        let data_writes = ops
+            .iter()
+            .filter(|o| matches!(o, AbsOp::DataWrite { .. }))
+            .count();
+        assert!(
+            reads > data_writes,
+            "vacation queries dominate: {reads} reads vs {data_writes} writes"
+        );
+    }
+
+    #[test]
+    fn uses_redo_logging() {
+        let g = generate(&WorkloadParams::small(1).with_fases(5));
+        assert!(g.redo.is_some());
+        assert!(g.undo.is_none());
+    }
+
+    #[test]
+    fn every_tx_commits_through_the_status_word() {
+        let g = generate(&WorkloadParams::small(1).with_fases(12));
+        let layout = *g.redo.unwrap().layout();
+        let commits = g
+            .program
+            .thread(0)
+            .iter()
+            .filter(|o| {
+                matches!(o, AbsOp::LogWrite { addr, .. }
+                    if (0..4).any(|s| *addr == layout.status_addr(0, s)))
+            })
+            .count();
+        assert_eq!(commits, 12);
+    }
+}

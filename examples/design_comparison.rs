@@ -1,0 +1,55 @@
+//! Figure 9 in miniature: run the whole Table 4 suite under all four
+//! designs at eight cores and print throughput normalized to the x86
+//! baseline.
+//!
+//! ```text
+//! cargo run --release --example design_comparison
+//! ```
+
+use pmem_spec_repro::prelude::*;
+
+fn main() {
+    let threads = 8;
+    println!(
+        "{:12} {:>9} {:>7} {:>7} {:>9}",
+        "bench", "IntelX86", "DPO", "HOPS", "PMEM-Spec"
+    );
+    let mut geo = [0f64; 4];
+    let mut n = 0;
+    for b in Benchmark::ALL {
+        let fases = if b == Benchmark::Memcached { 60 } else { 300 };
+        let g = b.generate(&WorkloadParams::small(threads).with_fases(fases));
+        let base = run_program(
+            SimConfig::asplos21(threads),
+            lower_program(DesignKind::IntelX86, &g.program),
+        )
+        .unwrap()
+        .throughput();
+        let mut row = format!("{:12} {:>9.2}", b.label(), 1.0);
+        for (i, d) in [DesignKind::Dpo, DesignKind::Hops, DesignKind::PmemSpec]
+            .iter()
+            .enumerate()
+        {
+            let r =
+                run_program(SimConfig::asplos21(threads), lower_program(*d, &g.program)).unwrap();
+            let rel = r.throughput() / base;
+            geo[i + 1] += rel.ln();
+            row += &format!(" {:>7.3}", rel);
+            if *d == DesignKind::PmemSpec && !r.misspeculation_free() {
+                row += " MISSPEC!";
+            }
+        }
+        n += 1;
+        println!("{row}");
+    }
+    println!(
+        "geomean      {:>9.2} {:>7.3} {:>7.3}",
+        1.0,
+        (geo[1] / n as f64).exp(),
+        (geo[2] / n as f64).exp()
+    );
+    println!(
+        "             PMEM-Spec geomean: {:.3}",
+        (geo[3] / n as f64).exp()
+    );
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates every experiment artifact under results/.
+# Usage: scripts/regen_results.sh   (~10 minutes; fig10 dominates)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release --workspace
+mkdir -p results
+for bin in table3 fig9 fig11 fig12 misspec ablation_detect ablation_checkpoint \
+           extended multi_pmc characterize; do
+    echo "== $bin"
+    ./target/release/$bin > "results/$bin.md"
+done
+echo "== fig10 (16/32/64 cores, the slow one)"
+./target/release/fig10 > results/fig10.md
+if command -v python3 >/dev/null; then
+    python3 scripts/render_figures.py
+fi
+echo "done — see results/"

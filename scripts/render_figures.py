@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Render static SVG figures from the markdown tables in results/.
+
+Usage: python3 scripts/render_figures.py
+Writes results/fig9.svg, results/fig11.svg, results/fig12.svg.
+
+Design notes (per the repo's charting conventions): categorical palette
+validated for CVD separation (blue #2a78d6, aqua #1baf7a, yellow #eda100);
+bars <= 24 px with 4 px rounded data-ends and square baselines; 2 px
+surface gaps between touching bars; hairline solid gridlines; text in ink
+tokens, never series colors; a legend for >= 2 series; selective direct
+labels (the headline series only); the full value table ships alongside as
+results/*.md.
+"""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+
+SURFACE = "#fcfcfb"
+INK = "#0b0b0b"
+INK2 = "#52514e"
+GRID = "#e4e3e0"
+SERIES = ["#2a78d6", "#1baf7a", "#eda100"]  # blue, aqua, yellow
+FONT = "font-family='system-ui, -apple-system, Segoe UI, sans-serif'"
+
+
+def parse_table(path, skip_geomean=True):
+    rows = []
+    for line in path.read_text().splitlines():
+        if not line.startswith("|") or line.startswith("|---"):
+            continue
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        if cells[0] in ("benchmark", "entries", "persist path (ns)"):
+            header = cells
+            continue
+        if skip_geomean and cells[0].startswith("**"):
+            continue
+        rows.append(cells)
+    return header, rows
+
+
+def svg_open(width, height, title):
+    return [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}' role='img' aria-label='{title}'>",
+        f"<rect width='{width}' height='{height}' fill='{SURFACE}'/>",
+        f"<text x='24' y='30' {FONT} font-size='15' font-weight='600' fill='{INK}'>{title}</text>",
+    ]
+
+
+def y_axis(parts, x0, x1, y_of, ticks, fmt=lambda v: f"{v:.1f}"):
+    for v in ticks:
+        y = y_of(v)
+        parts.append(
+            f"<line x1='{x0}' y1='{y:.1f}' x2='{x1}' y2='{y:.1f}' stroke='{GRID}' stroke-width='1'/>"
+        )
+        parts.append(
+            f"<text x='{x0 - 8}' y='{y + 4:.1f}' {FONT} font-size='11' fill='{INK2}' "
+            f"text-anchor='end'>{fmt(v)}</text>"
+        )
+
+
+def render_fig9():
+    header, rows = parse_table(RESULTS / "fig9.md")
+    designs = header[2:]  # DPO, HOPS, PMEM-Spec
+    width, height = 860, 420
+    x0, x1, y_top, y_base = 64, width - 24, 70, height - 64
+    vmax = 2.0
+    y_of = lambda v: y_base - (v / vmax) * (y_base - y_top)
+    parts = svg_open(width, height, "Figure 9 — 8-core throughput, normalized to IntelX86")
+    y_axis(parts, x0, x1, y_of, [0.0, 0.5, 1.0, 1.5, 2.0])
+    # Baseline rule at 1.0 gets ink emphasis.
+    parts.append(
+        f"<line x1='{x0}' y1='{y_of(1.0):.1f}' x2='{x1}' y2='{y_of(1.0):.1f}' "
+        f"stroke='{INK2}' stroke-width='1'/>"
+    )
+    parts.append(
+        f"<text x='{x1}' y='{y_of(1.0) - 5:.1f}' {FONT} font-size='10' fill='{INK2}' "
+        f"text-anchor='end'>IntelX86 = 1.0</text>"
+    )
+    group_w = (x1 - x0) / len(rows)
+    bar_w, gap = 20, 2
+    for gi, row in enumerate(rows):
+        label = row[0]
+        values = [float(v) for v in row[2:5]]
+        cluster_w = len(values) * bar_w + (len(values) - 1) * gap
+        gx = x0 + gi * group_w + (group_w - cluster_w) / 2
+        for si, v in enumerate(values):
+            x = gx + si * (bar_w + gap)
+            y = y_of(min(v, vmax))
+            h = y_base - y
+            r = min(4, h / 2)
+            # Rounded data-end (top), square baseline.
+            parts.append(
+                f"<path d='M{x:.1f} {y_base:.1f} V{y + r:.1f} Q{x:.1f} {y:.1f} {x + r:.1f} {y:.1f} "
+                f"H{x + bar_w - r:.1f} Q{x + bar_w:.1f} {y:.1f} {x + bar_w:.1f} {y + r:.1f} "
+                f"V{y_base:.1f} Z' fill='{SERIES[si]}'/>"
+            )
+            # Selective labels: the headline series only.
+            if si == 2:
+                parts.append(
+                    f"<text x='{x + bar_w / 2:.1f}' y='{y - 5:.1f}' {FONT} font-size='10' "
+                    f"fill='{INK}' text-anchor='middle'>{v:.2f}</text>"
+                )
+        parts.append(
+            f"<text x='{x0 + gi * group_w + group_w / 2:.1f}' y='{y_base + 18}' {FONT} "
+            f"font-size='11' fill='{INK2}' text-anchor='middle'>{label}</text>"
+        )
+    # Legend.
+    lx = x0
+    for si, name in enumerate(designs):
+        parts.append(f"<rect x='{lx}' y='44' width='10' height='10' rx='2' fill='{SERIES[si]}'/>")
+        parts.append(
+            f"<text x='{lx + 15}' y='53' {FONT} font-size='11' fill='{INK}'>{name}</text>"
+        )
+        lx += 15 + 9 * len(name) + 24
+    parts.append("</svg>")
+    (RESULTS / "fig9.svg").write_text("\n".join(parts))
+
+
+def render_fig11():
+    _, rows = parse_table(RESULTS / "fig11.md")
+    width, height = 520, 340
+    x0, x1, y_top, y_base = 64, width - 24, 64, height - 56
+    vmax = 1.0
+    y_of = lambda v: y_base - (v / vmax) * (y_base - y_top)
+    parts = svg_open(width, height, "Figure 11 — speculation-buffer size (PMEM-Spec, 8 cores)")
+    y_axis(parts, x0, x1, y_of, [0.0, 0.25, 0.5, 0.75, 1.0], fmt=lambda v: f"{v:.2f}")
+    group_w = (x1 - x0) / len(rows)
+    bar_w = 24
+    for gi, row in enumerate(rows):
+        entries, rel = row[0], float(row[1])
+        x = x0 + gi * group_w + (group_w - bar_w) / 2
+        y = y_of(rel)
+        h = y_base - y
+        r = min(4, h / 2)
+        parts.append(
+            f"<path d='M{x:.1f} {y_base:.1f} V{y + r:.1f} Q{x:.1f} {y:.1f} {x + r:.1f} {y:.1f} "
+            f"H{x + bar_w - r:.1f} Q{x + bar_w:.1f} {y:.1f} {x + bar_w:.1f} {y + r:.1f} "
+            f"V{y_base:.1f} Z' fill='{SERIES[0]}'/>"
+        )
+        parts.append(
+            f"<text x='{x + bar_w / 2:.1f}' y='{y - 5:.1f}' {FONT} font-size='10' fill='{INK}' "
+            f"text-anchor='middle'>{rel:.3f}</text>"
+        )
+        parts.append(
+            f"<text x='{x + bar_w / 2:.1f}' y='{y_base + 16}' {FONT} font-size='11' "
+            f"fill='{INK2}' text-anchor='middle'>{entries}</text>"
+        )
+    parts.append(
+        f"<text x='{(x0 + x1) / 2:.1f}' y='{height - 16}' {FONT} font-size='11' fill='{INK2}' "
+        f"text-anchor='middle'>speculation-buffer entries (throughput vs 16-entry)</text>"
+    )
+    parts.append("</svg>")
+    (RESULTS / "fig11.svg").write_text("\n".join(parts))
+
+
+def render_fig12():
+    _, rows = parse_table(RESULTS / "fig12.md")
+    width, height = 560, 360
+    x0, x1, y_top, y_base = 64, width - 110, 64, height - 56
+    xs = [int(r[0]) for r in rows]
+    hops = [float(r[1]) for r in rows]
+    spec = [float(r[2]) for r in rows]
+    vmin, vmax = 0.6, 1.4
+    x_of = lambda ns: x0 + (ns - xs[0]) / (xs[-1] - xs[0]) * (x1 - x0)
+    y_of = lambda v: y_base - (v - vmin) / (vmax - vmin) * (y_base - y_top)
+    parts = svg_open(width, height, "Figure 12 — persist-path latency sensitivity (geomean)")
+    y_axis(parts, x0, x1, y_of, [0.6, 0.8, 1.0, 1.2, 1.4])
+    parts.append(
+        f"<line x1='{x0}' y1='{y_of(1.0):.1f}' x2='{x1}' y2='{y_of(1.0):.1f}' "
+        f"stroke='{INK2}' stroke-width='1'/>"
+    )
+    parts.append(
+        f"<text x='{x0 + 4}' y='{y_of(1.0) - 5:.1f}' {FONT} font-size='10' "
+        f"fill='{INK2}'>IntelX86 = 1.0</text>"
+    )
+    for ns in xs:
+        parts.append(
+            f"<text x='{x_of(ns):.1f}' y='{y_base + 16}' {FONT} font-size='11' fill='{INK2}' "
+            f"text-anchor='middle'>{ns}</text>"
+        )
+    for si, (name, series) in enumerate([("HOPS", hops), ("PMEM-Spec", spec)]):
+        pts = " ".join(f"{x_of(ns):.1f},{y_of(v):.1f}" for ns, v in zip(xs, series))
+        parts.append(
+            f"<polyline points='{pts}' fill='none' stroke='{SERIES[si]}' stroke-width='2' "
+            f"stroke-linejoin='round' stroke-linecap='round'/>"
+        )
+        for ns, v in zip(xs, series):
+            # 8px markers with a 2px surface ring.
+            parts.append(
+                f"<circle cx='{x_of(ns):.1f}' cy='{y_of(v):.1f}' r='4' fill='{SERIES[si]}' "
+                f"stroke='{SURFACE}' stroke-width='2'/>"
+            )
+        # Direct end labels (ink, keyed by a colored dash).
+        ex, ey = x_of(xs[-1]), y_of(series[-1])
+        parts.append(
+            f"<line x1='{ex + 6:.1f}' y1='{ey:.1f}' x2='{ex + 18:.1f}' y2='{ey:.1f}' "
+            f"stroke='{SERIES[si]}' stroke-width='2'/>"
+        )
+        parts.append(
+            f"<text x='{ex + 22:.1f}' y='{ey + 4:.1f}' {FONT} font-size='11' "
+            f"fill='{INK}'>{name}</text>"
+        )
+    parts.append(
+        f"<text x='{(x0 + x1) / 2:.1f}' y='{height - 16}' {FONT} font-size='11' fill='{INK2}' "
+        f"text-anchor='middle'>persist-path latency (ns)</text>"
+    )
+    parts.append("</svg>")
+    (RESULTS / "fig12.svg").write_text("\n".join(parts))
+
+
+if __name__ == "__main__":
+    render_fig9()
+    render_fig11()
+    render_fig12()
+    print("wrote results/fig9.svg, results/fig11.svg, results/fig12.svg")

@@ -1,0 +1,43 @@
+//! Facade over the PMEM-Spec reproduction workspace.
+//!
+//! Re-exports the individual crates under one roof so examples and
+//! integration tests (and downstream users who want everything) can
+//! depend on a single crate:
+//!
+//! * [`engine`] — simulation kernel (clock, RNG, stats, Table 3 config);
+//! * [`isa`] — simulated ISA, program IR, per-design lowering (Figure 2);
+//! * [`mem`] — caches, coherence, PM controller, persist path;
+//! * [`core`] — PMEM-Spec itself plus the IntelX86/DPO/HOPS baselines and
+//!   the simulated machine;
+//! * [`runtime`] — undo/redo failure-atomic runtimes and recovery;
+//! * [`workloads`] — the Table 4 benchmark suite and the §8.4 synthetic
+//!   programs.
+//!
+//! # Example
+//!
+//! ```
+//! use pmem_spec_repro::prelude::*;
+//!
+//! let params = WorkloadParams::small(2).with_fases(20);
+//! let g = Benchmark::Hashmap.generate(&params);
+//! let cfg = SimConfig::asplos21(2);
+//! let report = run_program(cfg, lower_program(DesignKind::PmemSpec, &g.program))?;
+//! assert!(report.fases_committed > 0);
+//! # Ok::<(), pmem_spec::BuildSystemError>(())
+//! ```
+
+pub use pmem_spec as core;
+pub use pmemspec_engine as engine;
+pub use pmemspec_isa as isa;
+pub use pmemspec_mem as mem;
+pub use pmemspec_runtime as runtime;
+pub use pmemspec_workloads as workloads;
+
+/// The names almost every experiment needs.
+pub mod prelude {
+    pub use pmem_spec::{run_program, RecoveryPolicy, RunReport, System};
+    pub use pmemspec_engine::clock::{Cycle, Duration};
+    pub use pmemspec_engine::SimConfig;
+    pub use pmemspec_isa::{lower_program, DesignKind};
+    pub use pmemspec_workloads::{Benchmark, WorkloadParams};
+}

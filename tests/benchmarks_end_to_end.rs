@@ -1,0 +1,115 @@
+//! Cross-crate integration: every Table 4 benchmark runs to completion
+//! under all four designs, with value-level checks where the workload's
+//! final state is interleaving-independent.
+
+use pmem_spec_repro::core::System;
+use pmem_spec_repro::isa::abs::AbsOp;
+use pmem_spec_repro::prelude::*;
+
+fn fase_count(g: &pmem_spec_repro::workloads::GeneratedWorkload) -> u64 {
+    g.program
+        .threads()
+        .flat_map(|ops| ops.iter())
+        .filter(|o| matches!(o, AbsOp::FaseBegin { .. }))
+        .count() as u64
+}
+
+fn params_for(b: Benchmark) -> WorkloadParams {
+    // Memcached FASEs move a kilobyte each; keep counts debug-friendly.
+    let fases = if b == Benchmark::Memcached { 8 } else { 24 };
+    WorkloadParams::small(2).with_fases(fases)
+}
+
+#[test]
+fn every_benchmark_commits_under_every_design() {
+    // Including the StrandWeaver extension (five designs).
+    for b in Benchmark::ALL {
+        let g = b.generate(&params_for(b));
+        let total = fase_count(&g);
+        for d in DesignKind::ALL_EXTENDED {
+            let program = lower_program(d, &g.program);
+            let report = run_program(SimConfig::asplos21(2), program)
+                .unwrap_or_else(|e| panic!("{b}/{d}: {e}"));
+            assert_eq!(report.fases_committed, total, "{b}/{d}");
+            assert_eq!(report.fases_aborted, 0, "{b}/{d}");
+            assert!(report.pm_writes > 0, "{b}/{d}: persistence must flow");
+        }
+    }
+}
+
+#[test]
+fn pmem_spec_is_misspeculation_free_on_the_suite() {
+    // §8.4: "In our evaluation, PMEM-Spec never experienced
+    // misspeculation."
+    for b in Benchmark::ALL {
+        let g = b.generate(&params_for(b));
+        let report = run_program(
+            SimConfig::asplos21(2),
+            lower_program(DesignKind::PmemSpec, &g.program),
+        )
+        .unwrap();
+        assert!(report.misspeculation_free(), "{b}");
+        assert_eq!(report.stale_reads_ground_truth, 0, "{b}");
+        assert_eq!(report.store_inversions_ground_truth, 0, "{b}");
+    }
+}
+
+#[test]
+fn interleaving_independent_values_match_under_every_design() {
+    for b in Benchmark::ALL {
+        let g = b.generate(&params_for(b));
+        if g.expected_final.is_empty() {
+            continue;
+        }
+        for d in DesignKind::ALL_EXTENDED {
+            let sys = System::new(SimConfig::asplos21(2), lower_program(d, &g.program)).unwrap();
+            let (_, image) = sys.run_full();
+            for (&addr, &want) in &g.expected_final {
+                let got = image.read_volatile(addr);
+                assert_eq!(got, want, "{b}/{d}: {addr} = {got:#x}, want {want:#x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn durability_barrier_makes_committed_state_persistent() {
+    // After a full run, every expected word must also be *persistent* —
+    // the end-of-FASE barrier guarantees durability under all designs.
+    for b in [Benchmark::ArraySwaps, Benchmark::Tpcc] {
+        let g = b.generate(&params_for(b));
+        for d in DesignKind::ALL {
+            let sys = System::new(SimConfig::asplos21(2), lower_program(d, &g.program)).unwrap();
+            let (_, image) = sys.run_full();
+            let mut lagging = 0usize;
+            for (&addr, &want) in &g.expected_final {
+                if image.read_persistent(addr) != want {
+                    lagging += 1;
+                }
+            }
+            assert_eq!(
+                lagging, 0,
+                "{b}/{d}: {lagging} words not durable after the run"
+            );
+        }
+    }
+}
+
+#[test]
+fn designs_rank_as_the_paper_reports_on_long_transactions() {
+    // §8.2: on the long-transaction workloads PMEM-Spec ≥ HOPS > IntelX86
+    // > DPO. (Short-FASE microbenchmarks legitimately show ties.)
+    let g = Benchmark::Tpcc.generate(&WorkloadParams::small(4).with_fases(40));
+    let mut t = std::collections::HashMap::new();
+    for d in DesignKind::ALL_EXTENDED {
+        let r = run_program(SimConfig::asplos21(4), lower_program(d, &g.program)).unwrap();
+        t.insert(d, r.throughput());
+    }
+    assert!(t[&DesignKind::PmemSpec] > t[&DesignKind::IntelX86], "{t:?}");
+    assert!(t[&DesignKind::Hops] > t[&DesignKind::IntelX86], "{t:?}");
+    assert!(t[&DesignKind::Dpo] < t[&DesignKind::IntelX86], "{t:?}");
+    assert!(
+        t[&DesignKind::StrandWeaver] > t[&DesignKind::IntelX86],
+        "strand persistency beats the epoch baseline: {t:?}"
+    );
+}

@@ -1,0 +1,54 @@
+//! Determinism contract: identical configuration + seed gives bit-identical
+//! simulation outcomes, end to end.
+
+use pmem_spec_repro::core::System;
+use pmem_spec_repro::prelude::*;
+
+#[test]
+fn end_to_end_runs_are_bit_identical() {
+    for design in DesignKind::ALL_EXTENDED {
+        let mut outcomes = Vec::new();
+        for _ in 0..2 {
+            let params = WorkloadParams::small(4).with_fases(40).with_seed(99);
+            let g = Benchmark::Tpcc.generate(&params);
+            let sys =
+                System::new(SimConfig::asplos21(4), lower_program(design, &g.program)).unwrap();
+            let (report, image) = sys.run_full();
+            outcomes.push((
+                report.total_time,
+                report.fases_committed,
+                report.pm_writes,
+                report.pm_reads,
+                image.persistent_snapshot(),
+            ));
+        }
+        assert_eq!(outcomes[0].0, outcomes[1].0, "{design}: time diverged");
+        assert_eq!(
+            outcomes[0].4, outcomes[1].4,
+            "{design}: persistent image diverged"
+        );
+        assert_eq!(
+            (outcomes[0].1, outcomes[0].2, outcomes[0].3),
+            (outcomes[1].1, outcomes[1].2, outcomes[1].3),
+            "{design}: counters diverged"
+        );
+    }
+}
+
+#[test]
+fn traces_are_deterministic_too() {
+    let mut jsons = Vec::new();
+    for _ in 0..2 {
+        let params = WorkloadParams::small(2).with_fases(10).with_seed(5);
+        let g = Benchmark::Hashmap.generate(&params);
+        let sys = System::new(
+            SimConfig::asplos21(2),
+            lower_program(DesignKind::PmemSpec, &g.program),
+        )
+        .unwrap()
+        .with_trace();
+        let (_, trace) = sys.run_traced();
+        jsons.push(trace.to_chrome_trace());
+    }
+    assert_eq!(jsons[0], jsons[1]);
+}

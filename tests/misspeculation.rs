@@ -1,0 +1,235 @@
+//! §8.4 (misspeculation rates) and the Figure 4 detection ablation, as
+//! executable checks.
+
+use pmem_spec_repro::core::spec_buffer::DetectionMode;
+use pmem_spec_repro::core::{RecoveryPolicy, System};
+use pmem_spec_repro::prelude::*;
+use pmem_spec_repro::workloads::synthetic;
+
+fn inducer_run(path_ns: u64, policy: RecoveryPolicy, mode: DetectionMode) -> RunReport {
+    let cfg = SimConfig::asplos21(1).with_persist_path_latency(Duration::from_ns(path_ns));
+    let p = synthetic::load_misspec_inducer(&cfg, 20);
+    System::with_options(cfg, lower_program(DesignKind::PmemSpec, &p), policy, mode)
+        .unwrap()
+        .run()
+}
+
+#[test]
+fn no_misspeculation_at_realistic_persist_latency() {
+    // §8.4: with the default 20 ns path (shorter than the regular path's
+    // PM round trip), even the hand-crafted inducer cannot produce a
+    // stale read — the persist always reaches the controller before a
+    // simultaneous fetch can.
+    let r = inducer_run(20, RecoveryPolicy::Lazy, DetectionMode::EvictionBased);
+    assert!(r.misspeculation_free());
+    assert_eq!(r.stale_reads_ground_truth, 0);
+    assert_eq!(r.fases_aborted, 0);
+    assert_eq!(r.fases_committed, 20);
+}
+
+#[test]
+fn moderate_latency_detections_are_conservative_but_safe() {
+    // At ~5-10x the realistic latency, the inducer trips the
+    // WriteBack→Read→Persist pattern through a store's *own* in-flight
+    // persist racing its write-allocate fetch of a just-evicted line.
+    // The detector cannot distinguish this from a real stale read
+    // (Figure 6a) and conservatively recovers; no stale data is ever
+    // consumed and every FASE commits.
+    for path_ns in [100, 200] {
+        let r = inducer_run(path_ns, RecoveryPolicy::Lazy, DetectionMode::EvictionBased);
+        assert_eq!(
+            r.stale_reads_ground_truth, 0,
+            "{path_ns}ns: no true staleness yet"
+        );
+        assert_eq!(r.fases_committed, 20, "{path_ns}ns");
+        assert_eq!(
+            r.fases_aborted as u64 + 0,
+            r.load_misspec_detected.min(r.fases_aborted),
+            "{path_ns}ns"
+        );
+    }
+}
+
+#[test]
+fn inducer_triggers_detection_at_extreme_latency() {
+    // §8.4: "PM load misspeculation is only observed under an
+    // unrealistically long persist-path latency" — here 25x.
+    let r = inducer_run(500, RecoveryPolicy::Lazy, DetectionMode::EvictionBased);
+    assert!(
+        r.load_misspec_detected > 0,
+        "the synthetic pattern must trip detection"
+    );
+    assert!(
+        r.stale_reads_ground_truth > 0,
+        "and the stale reads are real"
+    );
+    assert!(r.fases_aborted > 0, "recovery must have rolled FASEs back");
+    assert_eq!(
+        r.fases_committed, 20,
+        "every FASE still commits after recovery"
+    );
+}
+
+#[test]
+fn recovery_makes_progress_even_under_pathological_latency() {
+    // The pessimistic-retry fallback bounds consecutive aborts.
+    for policy in [RecoveryPolicy::Lazy, RecoveryPolicy::Eager] {
+        let r = inducer_run(2000, policy, DetectionMode::EvictionBased);
+        assert_eq!(r.fases_committed, 20, "{policy:?}");
+        assert!(r.fases_aborted > 0, "{policy:?}");
+        assert!(
+            r.stats.counter("fase.quiesced_retries") > 0,
+            "{policy:?}: pathological retries must fall back"
+        );
+    }
+}
+
+#[test]
+fn detection_accompanies_every_stale_epoch() {
+    // Whenever ground-truth staleness exists, the automata must have
+    // fired (no silent corruption era).
+    for path_ns in [500, 1000, 2000] {
+        let r = inducer_run(path_ns, RecoveryPolicy::Lazy, DetectionMode::EvictionBased);
+        if r.stale_reads_ground_truth > 0 {
+            assert!(
+                r.load_misspec_detected > 0,
+                "{path_ns}ns: stale reads occurred but nothing was detected"
+            );
+            assert!(
+                r.fases_aborted > 0,
+                "{path_ns}ns: no recovery despite staleness"
+            );
+        }
+    }
+}
+
+#[test]
+fn fetch_based_detection_false_positives_on_store_misses() {
+    // Figure 4: monitoring fetched blocks flags a misspeculation for
+    // every write-allocate fetch whose own persist trails it (any path
+    // slower than the 31 ns regular path) — none of which is a real
+    // stale read.
+    let cfg = SimConfig::asplos21(1).with_persist_path_latency(Duration::from_ns(40));
+    let p = synthetic::store_miss_streamer(12, 4);
+    let fetch_based = System::with_options(
+        cfg.clone(),
+        lower_program(DesignKind::PmemSpec, &p),
+        RecoveryPolicy::Lazy,
+        DetectionMode::FetchBased,
+    )
+    .unwrap()
+    .run();
+    assert!(
+        fetch_based.load_misspec_detected > 0,
+        "the strawman must flag store-miss fetches"
+    );
+    assert_eq!(
+        fetch_based.stale_reads_ground_truth, 0,
+        "...even though none of them is a real stale read"
+    );
+    assert!(
+        fetch_based.fases_aborted > 0,
+        "false positives cost recovery work"
+    );
+
+    // §5.1.4 / Figure 6b: eviction-based detection produces none.
+    let eviction_based = System::with_options(
+        cfg,
+        lower_program(DesignKind::PmemSpec, &p),
+        RecoveryPolicy::Lazy,
+        DetectionMode::EvictionBased,
+    )
+    .unwrap()
+    .run();
+    assert!(eviction_based.misspeculation_free());
+    assert_eq!(eviction_based.fases_aborted, 0);
+    assert!(
+        eviction_based.total_time < fetch_based.total_time,
+        "false misspeculation shows up as lost performance"
+    );
+}
+
+#[test]
+fn eager_recovery_aborts_at_least_as_early_as_lazy() {
+    let lazy = inducer_run(500, RecoveryPolicy::Lazy, DetectionMode::EvictionBased);
+    let eager = inducer_run(500, RecoveryPolicy::Eager, DetectionMode::EvictionBased);
+    assert_eq!(lazy.fases_committed, 20);
+    assert_eq!(eager.fases_committed, 20);
+    assert!(eager.fases_aborted > 0);
+}
+
+#[test]
+fn benchmarks_never_misspeculate_at_default_config() {
+    // §8.4: "In our evaluation, PMEM-Spec never experienced
+    // misspeculation" — across the real suite.
+    let params = WorkloadParams::small(4).with_fases(60);
+    for b in Benchmark::ALL {
+        let fases = if b == Benchmark::Memcached { 20 } else { 60 };
+        let g = b.generate(&params.with_fases(fases));
+        let r = run_program(
+            SimConfig::asplos21(4),
+            lower_program(DesignKind::PmemSpec, &g.program),
+        )
+        .unwrap();
+        assert!(r.misspeculation_free(), "{b}");
+        assert_eq!(r.stale_reads_ground_truth, 0, "{b}");
+        assert_eq!(r.store_inversions_ground_truth, 0, "{b}");
+    }
+}
+
+#[test]
+fn checkpoints_bound_recovery_reexecution() {
+    // §6.3: incremental checkpoints make recovery re-execute only the
+    // region that misspeculated instead of the whole FASE.
+    let cfg = SimConfig::asplos21(1).with_persist_path_latency(Duration::from_ns(500));
+    let plain = System::new(
+        cfg.clone(),
+        lower_program(
+            DesignKind::PmemSpec,
+            &synthetic::long_fase_inducer(&cfg, 15, 8, false),
+        ),
+    )
+    .unwrap()
+    .run();
+    let checkpointed = System::new(
+        cfg.clone(),
+        lower_program(
+            DesignKind::PmemSpec,
+            &synthetic::long_fase_inducer(&cfg, 15, 8, true),
+        ),
+    )
+    .unwrap()
+    .run();
+    assert_eq!(plain.fases_committed, 15);
+    assert_eq!(checkpointed.fases_committed, 15);
+    assert!(plain.fases_aborted > 0, "the tail region must misspeculate");
+    assert!(checkpointed.fases_aborted > 0);
+    assert!(
+        checkpointed.stats.counter("fase.partial_aborts") > 0,
+        "recovery must have resumed from checkpoints"
+    );
+    assert!(
+        checkpointed.total_time < plain.total_time,
+        "bounded re-execution must be cheaper: {} vs {}",
+        checkpointed.total_time,
+        plain.total_time
+    );
+}
+
+#[test]
+fn checkpoints_are_inert_without_misspeculation() {
+    let cfg = SimConfig::asplos21(1); // realistic latency: no misspec
+    let r = System::new(
+        cfg.clone(),
+        lower_program(
+            DesignKind::PmemSpec,
+            &synthetic::long_fase_inducer(&cfg, 10, 4, true),
+        ),
+    )
+    .unwrap()
+    .run();
+    assert!(r.misspeculation_free());
+    assert_eq!(r.fases_committed, 10);
+    assert_eq!(r.stats.counter("fase.checkpoints"), 40);
+    assert_eq!(r.stats.counter("fase.partial_aborts"), 0);
+}

@@ -1,0 +1,232 @@
+//! Persistency litmus tests: tiny programs whose *every possible crash
+//! state* is checked against the persistency model each design promises.
+//!
+//! The sweep runs `run_until` at a fine grid of crash times over the whole
+//! execution, so any ordering the model forbids would be caught at some
+//! crash point (the simulator is deterministic, so the grid covers every
+//! distinct persistent state the run passes through).
+
+use std::collections::HashMap;
+
+use pmem_spec_repro::core::System;
+use pmem_spec_repro::isa::abs::{AbsProgram, AbsThread};
+use pmem_spec_repro::isa::{Addr, LockId};
+use pmem_spec_repro::prelude::*;
+
+const A: u64 = 4096;
+const B: u64 = 4096 + 128; // different cache line
+
+fn addr(off: u64) -> Addr {
+    Addr::pm(off)
+}
+
+/// Runs `program` under `design` and returns the persistent snapshot at
+/// every grid point (plus the final state).
+fn crash_sweep(design: DesignKind, program: &AbsProgram, points: u64) -> Vec<HashMap<Addr, u64>> {
+    let lowered = lower_program(design, program);
+    let full = System::new(SimConfig::asplos21(program.thread_count()), lowered.clone())
+        .unwrap()
+        .run();
+    let total = full.total_time.raw();
+    let mut states = Vec::new();
+    for i in 0..=points {
+        let crash_at = Cycle::from_raw(total * i / points + 1);
+        let outcome = System::new(SimConfig::asplos21(program.thread_count()), lowered.clone())
+            .unwrap()
+            .run_until(crash_at);
+        states.push(outcome.persistent);
+    }
+    states
+}
+
+fn v(state: &HashMap<Addr, u64>, off: u64) -> u64 {
+    state.get(&addr(off)).copied().unwrap_or(0)
+}
+
+/// st A=1; st B=1 — no barrier between them.
+fn two_stores() -> AbsProgram {
+    let mut t = AbsThread::new();
+    t.begin_fase();
+    t.data_write(addr(A), 1u64);
+    t.data_write(addr(B), 1u64);
+    t.end_fase();
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    p
+}
+
+/// st A=1; ordering point; st B=1.
+fn two_stores_ordered() -> AbsProgram {
+    let mut t = AbsThread::new();
+    t.begin_fase();
+    t.log_write(addr(A), 1u64); // log phase so the ordering point applies
+    t.log_order();
+    t.data_write(addr(B), 1u64);
+    t.end_fase();
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    p
+}
+
+#[test]
+fn strict_designs_never_reorder_unfenced_stores() {
+    // PMEM-Spec and DPO promise strict persistency: B=1 without A=1 is
+    // forbidden even with no barrier between the stores.
+    for design in [DesignKind::PmemSpec, DesignKind::Dpo] {
+        for state in crash_sweep(design, &two_stores(), 400) {
+            assert!(
+                !(v(&state, B) == 1 && v(&state, A) == 0),
+                "{design}: B persisted before A under strict persistency"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_design_respects_explicit_ordering_points() {
+    // st A; ordering-point; st B: B=1 without A=1 is forbidden everywhere
+    // (SFENCE / ofence / strand barrier / FIFO path).
+    for design in DesignKind::ALL_EXTENDED {
+        for state in crash_sweep(design, &two_stores_ordered(), 400) {
+            assert!(
+                !(v(&state, B) == 1 && v(&state, A) == 0),
+                "{design}: ordering point violated"
+            );
+        }
+    }
+}
+
+#[test]
+fn epoch_designs_may_reorder_within_an_epoch() {
+    // The same unfenced program under the *epoch* model: both stores share
+    // an epoch, so either may persist first. This is a semantic difference
+    // from strict persistency, not a bug — assert the states seen are
+    // always a subset of the legal ones, and that the model's extra
+    // freedom is real for at least one design (HOPS persists words
+    // through its buffer in insertion order per our timing model, so we
+    // assert only legality here).
+    for design in [DesignKind::IntelX86, DesignKind::Hops] {
+        for state in crash_sweep(design, &two_stores(), 400) {
+            let (a, b) = (v(&state, A), v(&state, B));
+            assert!(
+                matches!((a, b), (0, 0) | (1, 0) | (0, 1) | (1, 1)),
+                "{design}: impossible values a={a} b={b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn durability_barrier_is_a_hard_line() {
+    // Once the FASE's durability barrier completes, every store of the
+    // FASE must be in the persistent image at any later crash.
+    let program = two_stores_ordered();
+    for design in DesignKind::ALL_EXTENDED {
+        let lowered = lower_program(design, &program);
+        let full = System::new(SimConfig::asplos21(1), lowered.clone())
+            .unwrap()
+            .run();
+        // Crash well after the end: everything must be durable.
+        let outcome = System::new(SimConfig::asplos21(1), lowered.clone())
+            .unwrap()
+            .run_until(full.total_time);
+        assert_eq!(outcome.durable_fases, vec![1], "{design}");
+        let state = outcome.persistent;
+        assert_eq!(v(&state, A), 1, "{design}: A not durable after the barrier");
+        assert_eq!(v(&state, B), 1, "{design}: B not durable after the barrier");
+    }
+}
+
+#[test]
+fn persistent_state_is_monotone_for_single_writer() {
+    // A single thread increments one word across FASEs: the persistent
+    // value seen across increasing crash times never goes backwards.
+    let mut t = AbsThread::new();
+    for i in 0..10u64 {
+        t.begin_fase();
+        t.data_write(addr(A), i + 1);
+        t.end_fase();
+    }
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    for design in DesignKind::ALL_EXTENDED {
+        let mut last = 0u64;
+        for state in crash_sweep(design, &p, 300) {
+            let cur = v(&state, A);
+            assert!(cur >= last, "{design}: persistent value went backwards");
+            last = cur;
+        }
+        assert_eq!(last, 10, "{design}: final value must persist");
+    }
+}
+
+#[test]
+fn lock_release_orders_cross_thread_waw() {
+    // T0 writes A=1 then releases; T1 acquires then writes A=2. At no
+    // crash point may the persistent image transition 2 -> 1 (a missing
+    // update). Checked for every design.
+    let lock = LockId(0);
+    let mut p = AbsProgram::new();
+    for tid in 0..2u64 {
+        let mut t = AbsThread::new();
+        t.begin_fase();
+        t.acquire(lock);
+        t.data_write(addr(A), tid + 1);
+        t.release(lock);
+        t.end_fase();
+        p.add_thread(t);
+    }
+    for design in DesignKind::ALL_EXTENDED {
+        let mut seen_second = false;
+        let lowered = lower_program(design, &p);
+        let full = System::new(SimConfig::asplos21(2), lowered.clone())
+            .unwrap()
+            .run();
+        // Learn which thread won the lock second (last writer).
+        let final_value = {
+            let sys = System::new(SimConfig::asplos21(2), lowered.clone()).unwrap();
+            let (_, image) = sys.run_full();
+            image.read_persistent(addr(A))
+        };
+        for i in 0..=300u64 {
+            let crash_at = Cycle::from_raw(full.total_time.raw() * i / 300 + 1);
+            let outcome = System::new(SimConfig::asplos21(2), lowered.clone())
+                .unwrap()
+                .run_until(crash_at);
+            let cur = v(&outcome.persistent, A);
+            if cur == final_value {
+                seen_second = true;
+            } else if seen_second {
+                panic!("{design}: persistent A regressed from the final writer's value");
+            }
+        }
+        assert!(
+            seen_second,
+            "{design}: the final value never became persistent"
+        );
+    }
+}
+
+#[test]
+fn unbarriered_pm_stores_still_persist_under_pmem_spec() {
+    // Under PMEM-Spec every PM store flows down the persist path whether
+    // or not a barrier follows; under x86 an unflushed store only persists
+    // on eviction. Both end states are legal, but PMEM-Spec's must contain
+    // the store shortly after it commits.
+    let mut t = AbsThread::new();
+    t.begin_fase();
+    t.data_write(addr(A), 7u64);
+    t.end_fase(); // the barrier here covers it, so use mid-run crash below
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    let lowered = lower_program(DesignKind::PmemSpec, &p);
+    let full = System::new(SimConfig::asplos21(1), lowered.clone())
+        .unwrap()
+        .run();
+    // Crash shortly before the end: the persist path has long delivered.
+    let crash_at = Cycle::from_raw(full.total_time.raw().saturating_sub(2));
+    let outcome = System::new(SimConfig::asplos21(1), lowered)
+        .unwrap()
+        .run_until(crash_at);
+    assert_eq!(v(&outcome.persistent, A), 7);
+}
