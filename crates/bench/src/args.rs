@@ -1,0 +1,160 @@
+//! The one command-line parser shared by every experiment binary.
+//!
+//! Every figure/table binary accepts the same small flag set, so the
+//! parsing lives here instead of being re-scanned ad hoc per binary
+//! (the old `csv_mode()` pattern):
+//!
+//! | Flag | Meaning |
+//! |---|---|
+//! | `--csv` | machine-readable CSV instead of markdown |
+//! | `--json[=PATH]` | also write the results as JSON (default `results/<bin>.json`) |
+//! | `--serial` | run every sweep point on one thread (escape hatch) |
+//! | `--jobs N` | worker-thread count (overrides `PMEMSPEC_JOBS`) |
+//!
+//! Environment:
+//!
+//! | Variable | Meaning |
+//! |---|---|
+//! | `PMEMSPEC_JOBS` | default worker count (else `available_parallelism`) |
+//! | `PMEMSPEC_SMOKE` | reduced grid: 2 cores, 1 seed, 25 FASEs |
+//!
+//! Unknown arguments are ignored, matching the old behaviour (the
+//! binaries are also invoked by test harnesses that pass their own
+//! flags).
+
+use std::path::PathBuf;
+
+/// Parsed command-line options for an experiment binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--csv`: emit CSV instead of markdown.
+    pub csv: bool,
+    /// `--json` was given (with or without a path).
+    pub json: bool,
+    /// Explicit `--json=PATH` / `--json PATH` target, when given.
+    pub json_path: Option<PathBuf>,
+    /// `--serial`: force one worker.
+    pub serial: bool,
+    /// `--jobs N`: explicit worker count.
+    pub jobs: Option<usize>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Convenience constructor for a serial run (used by tests).
+    pub fn serial() -> Self {
+        BenchArgs {
+            serial: true,
+            ..BenchArgs::default()
+        }
+    }
+
+    /// Where `--json` output should go for a binary named `name`:
+    /// the explicit path when one was given, else `results/<name>.json`;
+    /// `None` when `--json` was not requested.
+    pub fn json_target(&self, name: &str) -> Option<PathBuf> {
+        if !self.json {
+            return None;
+        }
+        Some(
+            self.json_path
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(format!("results/{name}.json"))),
+        )
+    }
+}
+
+/// Parses an explicit argument list (testable; no process state).
+impl<S: Into<String>> FromIterator<S> for BenchArgs {
+    fn from_iter<I: IntoIterator<Item = S>>(args: I) -> Self {
+        let mut out = BenchArgs::default();
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--csv" => out.csv = true,
+                "--serial" => out.serial = true,
+                "--json" => {
+                    out.json = true;
+                    // Accept an optional separate path operand, but do
+                    // not swallow a following flag.
+                    if let Some(next) = iter.peek() {
+                        if !next.starts_with('-') {
+                            out.json_path = Some(PathBuf::from(iter.next().expect("peeked")));
+                        }
+                    }
+                }
+                "--jobs" => {
+                    if let Some(v) = iter.next() {
+                        out.jobs = v.parse().ok().filter(|&n: &usize| n > 0);
+                    }
+                }
+                _ => {
+                    if let Some(path) = arg.strip_prefix("--json=") {
+                        out.json = true;
+                        out.json_path = Some(PathBuf::from(path));
+                    } else if let Some(v) = arg.strip_prefix("--jobs=") {
+                        out.jobs = v.parse().ok().filter(|&n: &usize| n > 0);
+                    }
+                    // Anything else: ignore, like the old csv_mode().
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_off() {
+        let a = BenchArgs::from_iter(Vec::<String>::new());
+        assert_eq!(a, BenchArgs::default());
+        assert!(a.json_target("fig9").is_none());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = BenchArgs::from_iter(["--csv", "--serial", "--jobs", "3"]);
+        assert!(a.csv && a.serial);
+        assert_eq!(a.jobs, Some(3));
+    }
+
+    #[test]
+    fn json_default_and_explicit_paths() {
+        let a = BenchArgs::from_iter(["--json"]);
+        assert_eq!(
+            a.json_target("fig9"),
+            Some(PathBuf::from("results/fig9.json"))
+        );
+        let b = BenchArgs::from_iter(["--json=/tmp/x.json"]);
+        assert_eq!(b.json_target("fig9"), Some(PathBuf::from("/tmp/x.json")));
+        let c = BenchArgs::from_iter(["--json", "out.json"]);
+        assert_eq!(c.json_target("fig9"), Some(PathBuf::from("out.json")));
+    }
+
+    #[test]
+    fn json_does_not_swallow_flags() {
+        let a = BenchArgs::from_iter(["--json", "--csv"]);
+        assert!(a.json && a.csv);
+        assert!(a.json_path.is_none());
+    }
+
+    #[test]
+    fn unknown_arguments_are_ignored() {
+        let a = BenchArgs::from_iter(["--quiet", "--nocapture", "--csv"]);
+        assert!(a.csv);
+        assert!(!a.serial);
+    }
+
+    #[test]
+    fn zero_jobs_is_rejected() {
+        let a = BenchArgs::from_iter(["--jobs", "0"]);
+        assert_eq!(a.jobs, None);
+    }
+}

@@ -8,28 +8,37 @@
 //! work precedes the misspeculating region.
 
 use pmem_spec::System;
-use pmemspec_bench::csv_mode;
+use pmemspec_bench::sweep::{parallel_map, worker_count};
+use pmemspec_bench::{write_json, BenchArgs, Json};
 use pmemspec_engine::clock::Duration;
 use pmemspec_engine::SimConfig;
 use pmemspec_isa::{lower_program, DesignKind};
 use pmemspec_workloads::synthetic;
 
 fn main() {
+    let args = BenchArgs::parse();
     let cfg = SimConfig::asplos21(1).with_persist_path_latency(Duration::from_ns(500));
-    let mut rows = Vec::new();
-    for (label, checkpoints) in [
+    let grid: Vec<(&str, bool, usize)> = [
         ("whole-FASE recovery", false),
         ("checkpointed (§6.3)", true),
-    ] {
-        for segments in [2usize, 8, 32] {
-            let p = synthetic::long_fase_inducer(&cfg, 20, segments, checkpoints);
-            let r = System::new(cfg.clone(), lower_program(DesignKind::PmemSpec, &p))
-                .expect("valid system")
-                .run();
-            rows.push((label, segments, r));
-        }
-    }
-    if csv_mode() {
+    ]
+    .iter()
+    .flat_map(|&(label, ck)| [2usize, 8, 32].into_iter().map(move |s| (label, ck, s)))
+    .collect();
+    let reports = parallel_map(grid.len(), worker_count(&args), |i| {
+        let (_, checkpoints, segments) = grid[i];
+        let p = synthetic::long_fase_inducer(&cfg, 20, segments, checkpoints);
+        System::new(cfg.clone(), lower_program(DesignKind::PmemSpec, &p))
+            .expect("valid system")
+            .run()
+    });
+    let rows: Vec<_> = grid
+        .iter()
+        .map(|&(label, _, segments)| (label, segments))
+        .zip(reports)
+        .map(|((label, segments), r)| (label, segments, r))
+        .collect();
+    if args.csv {
         println!("mode,segments,total_ns,aborts,partial_aborts");
         for (label, segments, r) in &rows {
             println!(
@@ -71,4 +80,30 @@ fn main() {
             );
         }
     }
+    write_json(
+        &args,
+        "ablation_checkpoint",
+        &Json::obj([
+            ("figure".into(), Json::Str("ablation_checkpoint".into())),
+            (
+                "rows".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|(label, segments, r)| {
+                            Json::obj([
+                                ("mode".into(), Json::Str((*label).into())),
+                                ("segments".into(), Json::Num(*segments as f64)),
+                                ("total_ns".into(), Json::Num(r.total_time.as_ns() as f64)),
+                                ("aborts".into(), Json::Num(r.fases_aborted as f64)),
+                                (
+                                    "partial_aborts".into(),
+                                    Json::Num(r.stats.counter("fase.partial_aborts") as f64),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
 }

@@ -7,35 +7,37 @@
 
 use pmem_spec::spec_buffer::DetectionMode;
 use pmem_spec::{RecoveryPolicy, System};
-use pmemspec_bench::csv_mode;
+use pmemspec_bench::sweep::{parallel_map, worker_count};
+use pmemspec_bench::{write_json, BenchArgs, Json};
 use pmemspec_engine::clock::Duration;
 use pmemspec_engine::SimConfig;
 use pmemspec_isa::{lower_program, DesignKind};
 use pmemspec_workloads::synthetic;
 
 fn main() {
+    let args = BenchArgs::parse();
     // A 40 ns path (just above the 31 ns regular path) makes each store
     // miss's own persist trail its write-allocate fetch at the controller
     // — the situation Figure 4 describes. No true staleness exists at
     // this latency; only the strawman reacts.
     let cfg = SimConfig::asplos21(1).with_persist_path_latency(Duration::from_ns(40));
     let program = synthetic::store_miss_streamer(100, 8);
-    let mut rows = Vec::new();
-    for (label, mode) in [
+    let modes = [
         ("fetch-based (Figure 4 strawman)", DetectionMode::FetchBased),
         ("eviction-based (§5.1.4)", DetectionMode::EvictionBased),
-    ] {
-        let r = System::with_options(
+    ];
+    let reports = parallel_map(modes.len(), worker_count(&args), |i| {
+        System::with_options(
             cfg.clone(),
             lower_program(DesignKind::PmemSpec, &program),
             RecoveryPolicy::Lazy,
-            mode,
+            modes[i].1,
         )
         .expect("valid system")
-        .run();
-        rows.push((label, r));
-    }
-    if csv_mode() {
+        .run()
+    });
+    let rows: Vec<_> = modes.iter().map(|(label, _)| *label).zip(reports).collect();
+    if args.csv {
         println!("mode,detections,true_stale,aborts,total_ns");
         for (label, r) in &rows {
             println!(
@@ -64,4 +66,33 @@ fn main() {
         println!();
         println!("False misspeculation slows the strawman down {slowdown:.2}x.");
     }
+    write_json(
+        &args,
+        "ablation_detect",
+        &Json::obj([
+            ("figure".into(), Json::Str("ablation_detect".into())),
+            (
+                "rows".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|(label, r)| {
+                            Json::obj([
+                                ("mode".into(), Json::Str((*label).into())),
+                                (
+                                    "detections".into(),
+                                    Json::Num(r.load_misspec_detected as f64),
+                                ),
+                                (
+                                    "true_stale".into(),
+                                    Json::Num(r.stale_reads_ground_truth as f64),
+                                ),
+                                ("aborts".into(), Json::Num(r.fases_aborted as f64)),
+                                ("total_ns".into(), Json::Num(r.total_time.as_ns() as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
 }

@@ -3,14 +3,30 @@
 //! misspeculation-rarity argument rests on ("typical PM applications have
 //! almost zero inter-thread dependencies in a 50 micro-second window").
 
-use pmem_spec::run_program;
-use pmemspec_bench::csv_mode;
+use pmemspec_bench::sweep::generated_program;
+use pmemspec_bench::{write_json, BenchArgs, Json, SweepSpec};
 use pmemspec_engine::SimConfig;
-use pmemspec_isa::{lower_program, DesignKind};
+use pmemspec_isa::DesignKind;
 use pmemspec_workloads::{characterize, Benchmark, WorkloadParams};
 
+fn fases_for(b: Benchmark) -> usize {
+    if b == Benchmark::Memcached {
+        100
+    } else {
+        300
+    }
+}
+
 fn main() {
-    let csv = csv_mode();
+    let args = BenchArgs::parse();
+    let csv = args.csv;
+    let seed = WorkloadParams::small(8).seed;
+    let mut spec = SweepSpec::new(vec![SimConfig::asplos21(8)]);
+    for b in Benchmark::ALL {
+        spec.add(0, b, DesignKind::PmemSpec, seed, fases_for(b));
+    }
+    let results = spec.run(&args);
+
     if csv {
         println!(
             "benchmark,fases,ops_per_fase,pm_stores_per_fase,pm_reads_per_fase,\
@@ -26,16 +42,11 @@ fn main() {
         );
         println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
     }
+    let mut rows_json = Vec::new();
     for b in Benchmark::ALL {
-        let fases = if b == Benchmark::Memcached { 100 } else { 300 };
-        let params = WorkloadParams::small(8).with_fases(fases);
-        let g = b.generate(&params);
-        let p = characterize::profile(&g.program);
-        let r = run_program(
-            SimConfig::asplos21(8),
-            lower_program(DesignKind::PmemSpec, &g.program),
-        )
-        .expect("valid run");
+        let program = generated_program(b, 8, fases_for(b), seed);
+        let p = characterize::profile(&program);
+        let r = results.report(0, b, DesignKind::PmemSpec, seed);
         let waw_w = r.stats.counter("whisper.waw_within_spec_window");
         let waw_50 = r.stats.counter("whisper.waw_within_50us");
         let raw_w = r.stats.counter("whisper.raw_within_spec_window");
@@ -63,6 +74,26 @@ fn main() {
                 p.lines_written_per_fase, p.read_only_fraction * 100.0, waw_w, waw_50, raw_w
             );
         }
+        rows_json.push(Json::obj([
+            ("benchmark".into(), Json::Str(b.label().into())),
+            ("fases".into(), Json::Num(p.fases as f64)),
+            ("ops_per_fase".into(), Json::Num(p.ops_per_fase)),
+            ("pm_stores_per_fase".into(), Json::Num(p.pm_stores_per_fase)),
+            ("pm_reads_per_fase".into(), Json::Num(p.pm_reads_per_fase)),
+            (
+                "ordering_points_per_fase".into(),
+                Json::Num(p.ordering_points_per_fase),
+            ),
+            ("locks_per_fase".into(), Json::Num(p.locks_per_fase)),
+            (
+                "lines_written_per_fase".into(),
+                Json::Num(p.lines_written_per_fase),
+            ),
+            ("read_only_frac".into(), Json::Num(p.read_only_fraction)),
+            ("waw_in_window".into(), Json::Num(waw_w as f64)),
+            ("waw_in_50us".into(), Json::Num(waw_50 as f64)),
+            ("raw_in_window".into(), Json::Num(raw_w as f64)),
+        ]));
     }
     if !csv {
         println!();
@@ -73,4 +104,12 @@ fn main() {
              to *arrive first*, which never happened in any run (§8.4)."
         );
     }
+    write_json(
+        &args,
+        "characterize",
+        &Json::obj([
+            ("figure".into(), Json::Str("characterize".into())),
+            ("rows".into(), Json::Arr(rows_json)),
+        ]),
+    );
 }

@@ -7,17 +7,27 @@
 //! strand) but still pays intra-strand persist-barriers between the log
 //! and data phases, which PMEM-Spec's FIFO path eliminates entirely.
 
-use pmemspec_bench::{normalized_suite_for, print_suite_for};
+use pmemspec_bench::{
+    normalized_suite_with, print_suite_with, suite_cores, suite_json, write_json, BenchArgs,
+};
 use pmemspec_engine::SimConfig;
 use pmemspec_isa::DesignKind;
 
 fn main() {
-    let cfg = SimConfig::asplos21(8);
+    let args = BenchArgs::parse();
+    let cores = suite_cores();
+    let cfg = SimConfig::asplos21(cores);
     let designs = DesignKind::ALL_EXTENDED;
-    let rows = normalized_suite_for(&cfg, &designs);
-    print_suite_for(
-        "Extended comparison: five designs at 8 cores (normalized to IntelX86)",
+    let rows = normalized_suite_with(&cfg, &designs, &args);
+    print_suite_with(
+        &args,
+        &format!("Extended comparison: five designs at {cores} cores (normalized to IntelX86)"),
         &designs,
         &rows,
+    );
+    write_json(
+        &args,
+        "extended",
+        &suite_json("extended", cores, &designs, &rows),
     );
 }

@@ -3,14 +3,19 @@
 //! Paper: PMEM-Spec outperforms the baseline/HOPS by 18.8%/8.2% (16),
 //! 18.2%/8.0% (32) and 17.1%/10% (64); DPO degrades with core count.
 
-use pmemspec_bench::{geomeans, normalized_suite, print_suite};
+use pmemspec_bench::{
+    geomeans, normalized_suite_with, print_suite, suite_json, write_json, BenchArgs, Json,
+};
 use pmemspec_engine::SimConfig;
+use pmemspec_isa::DesignKind;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let mut sections = Vec::new();
     for cores in [16usize, 32, 64] {
         let cfg = SimConfig::asplos21(cores);
-        let rows = normalized_suite(&cfg);
-        print_suite(&format!("Figure 10: {cores}-core throughput"), &rows);
+        let rows = normalized_suite_with(&cfg, &DesignKind::ALL, &args);
+        print_suite(&args, &format!("Figure 10: {cores}-core throughput"), &rows);
         let g = geomeans(&rows);
         println!(
             "PMEM-Spec vs baseline: +{:.1}%  |  PMEM-Spec vs HOPS: +{:.1}%",
@@ -18,5 +23,14 @@ fn main() {
             (g[3] / g[2] - 1.0) * 100.0
         );
         println!();
+        sections.push(suite_json("fig10", cores, &DesignKind::ALL, &rows));
     }
+    write_json(
+        &args,
+        "fig10",
+        &Json::obj([
+            ("figure".into(), Json::Str("fig10".into())),
+            ("sections".into(), Json::Arr(sections)),
+        ]),
+    );
 }

@@ -6,35 +6,47 @@
 //! dirty-LLC-eviction bursts, so this experiment runs with the scaled
 //! LLC (see EXPERIMENTS.md).
 
-use pmem_spec::run_program;
-use pmemspec_bench::{csv_mode, default_fases, scaled_llc_config, SEEDS};
-use pmemspec_isa::{lower_program, DesignKind};
-use pmemspec_workloads::{Benchmark, WorkloadParams};
+use pmemspec_bench::{
+    default_fases, scaled_llc_config, seeds, write_json, BenchArgs, Json, SweepSpec,
+};
+use pmemspec_isa::DesignKind;
+use pmemspec_workloads::Benchmark;
 
 fn main() {
+    let args = BenchArgs::parse();
     let sizes = [1usize, 2, 4, 8, 16];
+    let mut spec = SweepSpec::new(
+        sizes
+            .iter()
+            .map(|&size| scaled_llc_config(8).with_spec_buffer_entries(size))
+            .collect(),
+    );
+    for ci in 0..sizes.len() {
+        spec.add_grid(ci, &[DesignKind::PmemSpec], seeds(), |b| {
+            default_fases(b) / 2
+        });
+    }
+    let results = spec.run(&args);
+
+    // Reduce in (size, benchmark, seed) order — the historical serial
+    // loop's arithmetic, bit for bit.
     let mut rows = Vec::new();
-    for &size in &sizes {
-        let cfg = scaled_llc_config(8).with_spec_buffer_entries(size);
+    for (ci, &size) in sizes.iter().enumerate() {
         let mut sum_ln = 0.0;
         let mut n = 0u32;
         let mut overflows = 0u64;
         for b in Benchmark::ALL {
-            let fases = default_fases(b) / 2;
-            for &seed in &SEEDS {
-                let params = WorkloadParams::small(8).with_fases(fases).with_seed(seed);
-                let g = b.generate(&params);
-                let r = run_program(cfg.clone(), lower_program(DesignKind::PmemSpec, &g.program))
-                    .expect("valid run");
+            for &seed in seeds() {
+                let r = results.report(ci, b, DesignKind::PmemSpec, seed);
                 sum_ln += r.throughput().ln();
                 overflows += r.spec_buffer_overflows;
                 n += 1;
             }
         }
-        rows.push((size, (sum_ln / n as f64).exp(), overflows));
+        rows.push((size, (sum_ln / f64::from(n)).exp(), overflows));
     }
     let base = rows.last().expect("sizes non-empty").1;
-    if csv_mode() {
+    if args.csv {
         println!("entries,relative_throughput,overflows");
         for (size, tput, ov) in &rows {
             println!("{size},{:.4},{ov}", tput / base);
@@ -48,4 +60,25 @@ fn main() {
             println!("| {size} | {:.3} | {ov} |", tput / base);
         }
     }
+    write_json(
+        &args,
+        "fig11",
+        &Json::obj([
+            ("figure".into(), Json::Str("fig11".into())),
+            (
+                "rows".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|&(size, tput, ov)| {
+                            Json::obj([
+                                ("entries".into(), Json::Num(size as f64)),
+                                ("relative_throughput".into(), Json::Num(tput / base)),
+                                ("overflows".into(), Json::Num(ov as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
 }

@@ -5,39 +5,60 @@
 //! Paper: both stay above the baseline across the sweep because the
 //! durability barrier is infrequent.
 
-use pmemspec_bench::{csv_mode, default_fases, throughput, SEEDS};
+use pmemspec_bench::{default_fases, seeds, write_json, BenchArgs, Json, SweepSpec};
 use pmemspec_engine::clock::Duration;
 use pmemspec_engine::SimConfig;
 use pmemspec_isa::DesignKind;
 use pmemspec_workloads::Benchmark;
 
 fn main() {
-    let _ = SEEDS; // documented averaging lives in throughput()
+    let args = BenchArgs::parse();
     let latencies = [20u64, 40, 60, 80, 100];
     let base_cfg = SimConfig::asplos21(8);
-    // Baseline geomean (independent of the persist path).
+
+    // Config 0 carries the IntelX86 baseline (independent of the
+    // persist path); configs 1.. are the latency sweep.
+    let mut configs = vec![base_cfg.clone()];
+    configs.extend(latencies.iter().map(|&ns| {
+        base_cfg
+            .clone()
+            .with_persist_path_latency(Duration::from_ns(ns))
+    }));
+    let mut spec = SweepSpec::new(configs);
+    spec.add_grid(0, &[DesignKind::IntelX86], seeds(), default_fases);
+    for ci in 1..=latencies.len() {
+        spec.add_grid(
+            ci,
+            &[DesignKind::Hops, DesignKind::PmemSpec],
+            seeds(),
+            default_fases,
+        );
+    }
+    let results = spec.run(&args);
+
+    // Baseline geomean, reduced in benchmark order (the historical
+    // serial arithmetic, bit for bit).
     let mut base_ln = 0.0;
     for b in Benchmark::ALL {
-        base_ln += throughput(b, DesignKind::IntelX86, &base_cfg, default_fases(b)).ln();
+        base_ln += results
+            .mean_throughput(0, b, DesignKind::IntelX86, seeds())
+            .ln();
     }
     let base = (base_ln / Benchmark::ALL.len() as f64).exp();
 
     let mut rows = Vec::new();
-    for &ns in &latencies {
-        let cfg = base_cfg
-            .clone()
-            .with_persist_path_latency(Duration::from_ns(ns));
+    for (li, &ns) in latencies.iter().enumerate() {
         let mut out = [0.0f64; 2];
         for (i, d) in [DesignKind::Hops, DesignKind::PmemSpec].iter().enumerate() {
             let mut ln = 0.0;
             for b in Benchmark::ALL {
-                ln += throughput(b, *d, &cfg, default_fases(b)).ln();
+                ln += results.mean_throughput(li + 1, b, *d, seeds()).ln();
             }
             out[i] = (ln / Benchmark::ALL.len() as f64).exp() / base;
         }
         rows.push((ns, out[0], out[1]));
     }
-    if csv_mode() {
+    if args.csv {
         println!("persist_path_ns,HOPS,PMEM-Spec");
         for (ns, h, p) in &rows {
             println!("{ns},{h:.4},{p:.4}");
@@ -51,4 +72,25 @@ fn main() {
             println!("| {ns} | {h:.2} | {p:.2} |");
         }
     }
+    write_json(
+        &args,
+        "fig12",
+        &Json::obj([
+            ("figure".into(), Json::Str("fig12".into())),
+            (
+                "rows".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|&(ns, h, p)| {
+                            Json::obj([
+                                ("persist_path_ns".into(), Json::Num(ns as f64)),
+                                ("HOPS".into(), Json::Num(h)),
+                                ("PMEM-Spec".into(), Json::Num(p)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
 }

@@ -5,14 +5,25 @@
 //! below the baseline; Queue/Hashmap show the smallest gains;
 //! Vacation/Memcached benefit from long transactions.
 
-use pmemspec_bench::{normalized_suite, print_suite};
+use pmemspec_bench::{
+    normalized_suite_with, print_suite, suite_cores, suite_json, write_json, BenchArgs,
+};
 use pmemspec_engine::SimConfig;
+use pmemspec_isa::DesignKind;
 
 fn main() {
-    let cfg = SimConfig::asplos21(8);
-    let rows = normalized_suite(&cfg);
+    let args = BenchArgs::parse();
+    let cores = suite_cores();
+    let cfg = SimConfig::asplos21(cores);
+    let rows = normalized_suite_with(&cfg, &DesignKind::ALL, &args);
     print_suite(
-        "Figure 9: 8-core throughput (normalized to IntelX86)",
+        &args,
+        &format!("Figure 9: {cores}-core throughput (normalized to IntelX86)"),
         &rows,
+    );
+    write_json(
+        &args,
+        "fig9",
+        &suite_json("fig9", cores, &DesignKind::ALL, &rows),
     );
 }

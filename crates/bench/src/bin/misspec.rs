@@ -6,15 +6,28 @@
 //! reload) produces load misspeculation only at several times the
 //! realistic persist-path latency, and recovery preserves every FASE.
 
-use pmem_spec::{run_program, System};
-use pmemspec_bench::csv_mode;
+use pmem_spec::System;
+use pmemspec_bench::sweep::{parallel_map, worker_count};
+use pmemspec_bench::{write_json, BenchArgs, Json, SweepSpec};
 use pmemspec_engine::clock::Duration;
 use pmemspec_engine::SimConfig;
 use pmemspec_isa::{lower_program, DesignKind};
 use pmemspec_workloads::{synthetic, Benchmark, WorkloadParams};
 
 fn main() {
-    let csv = csv_mode();
+    let args = BenchArgs::parse();
+    let csv = args.csv;
+
+    // Part 1: the whole suite at the default seed, fanned out across
+    // workers.
+    let seed = WorkloadParams::small(8).seed;
+    let mut spec = SweepSpec::new(vec![SimConfig::asplos21(8)]);
+    for b in Benchmark::ALL {
+        let fases = if b == Benchmark::Memcached { 60 } else { 200 };
+        spec.add(0, b, DesignKind::PmemSpec, seed, fases);
+    }
+    let results = spec.run(&args);
+
     if !csv {
         println!("## §8.4 part 1: misspeculation on the benchmark suite (default config)");
         println!();
@@ -23,15 +36,9 @@ fn main() {
     } else {
         println!("benchmark,load_misspec,store_misspec,stale_ground_truth");
     }
+    let mut suite_json = Vec::new();
     for b in Benchmark::ALL {
-        let fases = if b == Benchmark::Memcached { 60 } else { 200 };
-        let params = WorkloadParams::small(8).with_fases(fases);
-        let g = b.generate(&params);
-        let r = run_program(
-            SimConfig::asplos21(8),
-            lower_program(DesignKind::PmemSpec, &g.program),
-        )
-        .expect("valid run");
+        let r = results.report(0, b, DesignKind::PmemSpec, seed);
         if csv {
             println!(
                 "{},{},{},{}",
@@ -49,7 +56,34 @@ fn main() {
                 r.stale_reads_ground_truth
             );
         }
+        suite_json.push(Json::obj([
+            ("benchmark".into(), Json::Str(b.label().into())),
+            (
+                "load_misspec".into(),
+                Json::Num(r.load_misspec_detected as f64),
+            ),
+            (
+                "store_misspec".into(),
+                Json::Num(r.store_misspec_detected as f64),
+            ),
+            (
+                "stale_ground_truth".into(),
+                Json::Num(r.stale_reads_ground_truth as f64),
+            ),
+        ]));
     }
+
+    // Part 2: the synthetic inducer across persist-path latencies —
+    // independent single-core systems, also run on the pool.
+    let mults = [1u64, 2, 5, 10, 25, 50];
+    let reports = parallel_map(mults.len(), worker_count(&args), |i| {
+        let ns = 20 * mults[i];
+        let cfg = SimConfig::asplos21(1).with_persist_path_latency(Duration::from_ns(ns));
+        let p = synthetic::load_misspec_inducer(&cfg, 50);
+        System::new(cfg, lower_program(DesignKind::PmemSpec, &p))
+            .expect("valid system")
+            .run()
+    });
 
     if !csv {
         println!();
@@ -62,13 +96,9 @@ fn main() {
     } else {
         println!("persist_path_ns,detected,stale,aborted,committed");
     }
-    for mult in [1u64, 2, 5, 10, 25, 50] {
+    let mut inducer_json = Vec::new();
+    for (&mult, r) in mults.iter().zip(&reports) {
         let ns = 20 * mult;
-        let cfg = SimConfig::asplos21(1).with_persist_path_latency(Duration::from_ns(ns));
-        let p = synthetic::load_misspec_inducer(&cfg, 50);
-        let r = System::new(cfg, lower_program(DesignKind::PmemSpec, &p))
-            .expect("valid system")
-            .run();
         if csv {
             println!(
                 "{ns},{},{},{},{}",
@@ -86,5 +116,21 @@ fn main() {
                 r.fases_committed
             );
         }
+        inducer_json.push(Json::obj([
+            ("persist_path_ns".into(), Json::Num(ns as f64)),
+            ("detected".into(), Json::Num(r.load_misspec_detected as f64)),
+            ("stale".into(), Json::Num(r.stale_reads_ground_truth as f64)),
+            ("aborted".into(), Json::Num(r.fases_aborted as f64)),
+            ("committed".into(), Json::Num(r.fases_committed as f64)),
+        ]));
     }
+    write_json(
+        &args,
+        "misspec",
+        &Json::obj([
+            ("figure".into(), Json::Str("misspec".into())),
+            ("suite".into(), Json::Arr(suite_json)),
+            ("inducer".into(), Json::Arr(inducer_json)),
+        ]),
+    );
 }

@@ -9,15 +9,33 @@
 //! single thread's persist order (undetectable by per-controller
 //! speculation buffers); the order-preserving network eliminates it.
 
-use pmem_spec::{run_program, System};
-use pmemspec_bench::{csv_mode, default_fases, SEEDS};
+use pmem_spec::System;
+use pmemspec_bench::sweep::{parallel_map, worker_count};
+use pmemspec_bench::{default_fases, seeds, write_json, BenchArgs, Json, SweepSpec};
 use pmemspec_engine::config::PmcNetworkOrder;
 use pmemspec_engine::SimConfig;
 use pmemspec_isa::{lower_program, DesignKind};
-use pmemspec_workloads::{synthetic, Benchmark, WorkloadParams};
+use pmemspec_workloads::{synthetic, Benchmark};
 
 fn main() {
-    let csv = csv_mode();
+    let args = BenchArgs::parse();
+    let csv = args.csv;
+    let controllers = [1usize, 2, 4];
+    let one_seed = &seeds()[..1];
+
+    let mut spec = SweepSpec::new(
+        controllers
+            .iter()
+            .map(|&c| SimConfig::asplos21(8).with_pm_controllers(c, PmcNetworkOrder::Fifo))
+            .collect(),
+    );
+    for ci in 0..controllers.len() {
+        spec.add_grid(ci, &[DesignKind::PmemSpec], one_seed, |b| {
+            default_fases(b) / 2
+        });
+    }
+    let results = spec.run(&args);
+
     if !csv {
         println!("## Multi-controller scaling (PMEM-Spec, 8 cores, ordered network)");
         println!();
@@ -27,18 +45,14 @@ fn main() {
         println!("controllers,relative_throughput,order_violations");
     }
     let mut base = None;
-    for controllers in [1usize, 2, 4] {
-        let cfg = SimConfig::asplos21(8).with_pm_controllers(controllers, PmcNetworkOrder::Fifo);
+    let mut scaling_json = Vec::new();
+    for (ci, &c) in controllers.iter().enumerate() {
         let mut ln_sum = 0.0;
         let mut n = 0u32;
         let mut violations = 0u64;
         for b in Benchmark::ALL {
-            let fases = default_fases(b) / 2;
-            for &seed in &SEEDS[..1] {
-                let params = WorkloadParams::small(8).with_fases(fases).with_seed(seed);
-                let g = b.generate(&params);
-                let r = run_program(cfg.clone(), lower_program(DesignKind::PmemSpec, &g.program))
-                    .expect("valid run");
+            for &seed in one_seed {
+                let r = results.report(ci, b, DesignKind::PmemSpec, seed);
                 ln_sum += r.throughput().ln();
                 violations += r.persist_order_violations;
                 n += 1;
@@ -50,11 +64,29 @@ fn main() {
             base = Some(geo);
         }
         if csv {
-            println!("{controllers},{rel:.4},{violations}");
+            println!("{c},{rel:.4},{violations}");
         } else {
-            println!("| {controllers} | {rel:.3} | {violations} |");
+            println!("| {c} | {rel:.3} | {violations} |");
         }
+        scaling_json.push(Json::obj([
+            ("controllers".into(), Json::Num(c as f64)),
+            ("relative_throughput".into(), Json::Num(rel)),
+            ("order_violations".into(), Json::Num(violations as f64)),
+        ]));
     }
+
+    // Part 2: the §7 hazard — two single-core systems, run on the pool.
+    let networks = [
+        ("order-preserving (proposed fix)", PmcNetworkOrder::Fifo),
+        ("independent routes (hazard)", PmcNetworkOrder::Unordered),
+    ];
+    let reports = parallel_map(networks.len(), worker_count(&args), |i| {
+        let cfg = SimConfig::asplos21(1).with_pm_controllers(2, networks[i].1);
+        let p = synthetic::cross_controller_inversion(2, 50);
+        System::new(cfg, lower_program(DesignKind::PmemSpec, &p))
+            .expect("valid system")
+            .run()
+    });
 
     if !csv {
         println!();
@@ -65,15 +97,8 @@ fn main() {
     } else {
         println!("network,order_violations,committed");
     }
-    for (label, order) in [
-        ("order-preserving (proposed fix)", PmcNetworkOrder::Fifo),
-        ("independent routes (hazard)", PmcNetworkOrder::Unordered),
-    ] {
-        let cfg = SimConfig::asplos21(1).with_pm_controllers(2, order);
-        let p = synthetic::cross_controller_inversion(2, 50);
-        let r = System::new(cfg, lower_program(DesignKind::PmemSpec, &p))
-            .expect("valid system")
-            .run();
+    let mut hazard_json = Vec::new();
+    for ((label, _), r) in networks.iter().zip(&reports) {
         if csv {
             println!(
                 "{label},{},{}",
@@ -85,5 +110,22 @@ fn main() {
                 r.persist_order_violations, r.fases_committed
             );
         }
+        hazard_json.push(Json::obj([
+            ("network".into(), Json::Str((*label).into())),
+            (
+                "order_violations".into(),
+                Json::Num(r.persist_order_violations as f64),
+            ),
+            ("committed".into(), Json::Num(r.fases_committed as f64)),
+        ]));
     }
+    write_json(
+        &args,
+        "multi_pmc",
+        &Json::obj([
+            ("figure".into(), Json::Str("multi_pmc".into())),
+            ("scaling".into(), Json::Arr(scaling_json)),
+            ("hazard".into(), Json::Arr(hazard_json)),
+        ]),
+    );
 }

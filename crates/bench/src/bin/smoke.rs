@@ -1,0 +1,122 @@
+//! CI smoke gate: runs the sweep harness on a reduced grid (2 cores,
+//! 1 seed, 25 FASEs per thread — the `PMEMSPEC_SMOKE=1` grid) and
+//! fails if any design's normalized geomean deviates more than 20%
+//! from the checked-in reference, `results/smoke_reference.json`.
+//!
+//! The simulator is deterministic, so on an unchanged tree the
+//! deviation is exactly zero; the tolerance exists so a PR that
+//! legitimately shifts performance a little does not have to touch the
+//! reference, while one that breaks a design's speedup story fails
+//! loudly.
+//!
+//! `smoke --update` regenerates the reference file (do this, and say
+//! why, when a simulator change intentionally moves the numbers).
+
+use std::process::ExitCode;
+
+use pmemspec_bench::{geomeans, print_suite, suite_rows, suite_spec, BenchArgs, Json, SEEDS};
+use pmemspec_engine::SimConfig;
+use pmemspec_isa::DesignKind;
+
+const REFERENCE: &str = "results/smoke_reference.json";
+const TOLERANCE: f64 = 0.20;
+const CORES: usize = 2;
+const FASES: usize = 25;
+
+fn main() -> ExitCode {
+    let args = BenchArgs::parse();
+    let update = std::env::args().any(|a| a == "--update");
+    let seeds = &SEEDS[..1];
+
+    let cfg = SimConfig::asplos21(CORES);
+    let spec = suite_spec(&cfg, &DesignKind::ALL, seeds, |_| FASES);
+    let results = spec.run(&args);
+    let rows = suite_rows(&results, &DesignKind::ALL, seeds, |_| FASES);
+    print_suite(
+        &args,
+        &format!(
+            "Smoke grid: {CORES} cores, {} seed, {FASES} FASEs",
+            seeds.len()
+        ),
+        &rows,
+    );
+    let g = geomeans(&rows);
+
+    let doc = Json::obj([
+        ("cores".into(), Json::Num(CORES as f64)),
+        ("seeds".into(), Json::Num(seeds.len() as f64)),
+        ("fases".into(), Json::Num(FASES as f64)),
+        (
+            "geomeans".into(),
+            Json::obj(
+                DesignKind::ALL
+                    .iter()
+                    .zip(&g)
+                    .map(|(d, &v)| (d.label().to_string(), Json::Num(v))),
+            ),
+        ),
+    ]);
+
+    if update {
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write(REFERENCE, doc.render_pretty())
+            .unwrap_or_else(|e| panic!("cannot write {REFERENCE}: {e}"));
+        println!("updated {REFERENCE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let reference = match std::fs::read_to_string(REFERENCE) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {REFERENCE}: {e} (run `smoke --update` to create it)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reference = match Json::parse(&reference) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{REFERENCE} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(ref_geomeans) = reference.get("geomeans") else {
+        eprintln!("{REFERENCE} has no `geomeans` object");
+        return ExitCode::FAILURE;
+    };
+
+    println!(
+        "## Smoke gate vs {REFERENCE} (tolerance {:.0}%)",
+        TOLERANCE * 100.0
+    );
+    println!();
+    println!("| design | geomean | reference | deviation | verdict |");
+    println!("|---|---|---|---|---|");
+    let mut failed = false;
+    for (d, &measured) in DesignKind::ALL.iter().zip(&g) {
+        let Some(expected) = ref_geomeans.get(d.label()).and_then(Json::as_f64) else {
+            println!("| {} | {measured:.4} | (missing) | — | FAIL |", d.label());
+            failed = true;
+            continue;
+        };
+        let deviation = (measured - expected).abs() / expected;
+        let verdict = if deviation > TOLERANCE { "FAIL" } else { "ok" };
+        failed |= deviation > TOLERANCE;
+        println!(
+            "| {} | {measured:.4} | {expected:.4} | {:.1}% | {verdict} |",
+            d.label(),
+            deviation * 100.0
+        );
+    }
+    println!();
+    if failed {
+        println!(
+            "smoke gate FAILED: a design's geomean moved more than {:.0}% — \
+             if intentional, regenerate the reference with `smoke --update`",
+            TOLERANCE * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("smoke gate passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,8 +1,10 @@
 //! Table 3: the simulator configuration.
 
+use pmemspec_bench::{write_json, BenchArgs, Json};
 use pmemspec_engine::SimConfig;
 
 fn main() {
+    let args = BenchArgs::parse();
     let cfg = SimConfig::asplos21(8);
     println!("## Table 3: simulator configuration");
     println!();
@@ -38,5 +40,45 @@ fn main() {
     println!(
         "Speculation window (8 cores): {} ns",
         cfg.speculation_window().as_ns()
+    );
+    write_json(
+        &args,
+        "table3",
+        &Json::obj([
+            ("figure".into(), Json::Str("table3".into())),
+            ("store_queue".into(), Json::Num(cfg.store_queue as f64)),
+            ("l1_kb".into(), Json::Num((cfg.l1.size_bytes / 1024) as f64)),
+            ("l1_ways".into(), Json::Num(cfg.l1.ways as f64)),
+            (
+                "llc_mb".into(),
+                Json::Num((cfg.llc.size_bytes / 1024 / 1024) as f64),
+            ),
+            ("llc_ways".into(), Json::Num(cfg.llc.ways as f64)),
+            ("pm_read_queue".into(), Json::Num(cfg.pm.read_queue as f64)),
+            (
+                "pm_write_queue".into(),
+                Json::Num(cfg.pm.write_queue as f64),
+            ),
+            (
+                "spec_buffer_entries".into(),
+                Json::Num(cfg.pm.spec_buffer_entries as f64),
+            ),
+            (
+                "pm_read_ns".into(),
+                Json::Num(cfg.pm.read_latency.as_ns() as f64),
+            ),
+            (
+                "pm_write_ns".into(),
+                Json::Num(cfg.pm.write_latency.as_ns() as f64),
+            ),
+            (
+                "persist_path_ns".into(),
+                Json::Num(cfg.persist_path_latency.as_ns() as f64),
+            ),
+            (
+                "speculation_window_ns_8c".into(),
+                Json::Num(cfg.speculation_window().as_ns() as f64),
+            ),
+        ]),
     );
 }

@@ -12,22 +12,66 @@
 //! | `fig12` | Figure 12 (persist-path latency sensitivity) |
 //! | `misspec` | §8.4 (misspeculation rates + synthetic inducer sweep) |
 //! | `ablation_detect` | Figure 4/6 (fetch- vs eviction-based detection) |
+//! | `smoke` | CI gate: reduced grid vs `results/smoke_reference.json` |
 //!
-//! Results print as markdown tables; pass `--csv` to any binary for
-//! machine-readable output. Runs average several RNG seeds because
-//! lock-contention scheduling makes single runs noisy (±5%).
+//! Results print as markdown tables; every binary accepts the shared
+//! flag set parsed by [`BenchArgs`] (`--csv`, `--json`, `--serial`,
+//! `--jobs N`). Runs average several RNG seeds because lock-contention
+//! scheduling makes single runs noisy (±5%).
+//!
+//! The grids themselves run on the [`sweep`] worker pool: points are
+//! independent deterministic simulations, so they fan out across host
+//! cores and reduce in spec order — parallel output is byte-identical
+//! to `--serial`.
 
-use pmem_spec::{run_program, RunReport};
+pub mod args;
+pub mod json;
+pub mod sweep;
+
+pub use args::BenchArgs;
+pub use json::Json;
+pub use sweep::{PointKey, PointResult, SweepResults, SweepSpec};
+
+use pmem_spec::RunReport;
 use pmemspec_engine::SimConfig;
-use pmemspec_isa::{lower_program, DesignKind};
-use pmemspec_workloads::{Benchmark, WorkloadParams};
+use pmemspec_isa::DesignKind;
+use pmemspec_workloads::Benchmark;
 
 /// Seeds averaged per data point.
 pub const SEEDS: [u64; 3] = [11, 42, 1337];
 
+/// True when `PMEMSPEC_SMOKE` requests the reduced CI grid
+/// (2 cores, 1 seed, 25 FASEs).
+pub fn smoke_mode() -> bool {
+    std::env::var("PMEMSPEC_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The seeds the current mode averages over: all of [`SEEDS`], or just
+/// the first under [`smoke_mode`].
+pub fn seeds() -> &'static [u64] {
+    if smoke_mode() {
+        &SEEDS[..1]
+    } else {
+        &SEEDS
+    }
+}
+
+/// Core count for the main (Figure 9) system: 8, or 2 under
+/// [`smoke_mode`].
+pub fn suite_cores() -> usize {
+    if smoke_mode() {
+        2
+    } else {
+        8
+    }
+}
+
 /// FASEs per thread for the scaled-down main experiments (the paper runs
 /// 100 K; throughput ratios converge far earlier).
 pub fn default_fases(benchmark: Benchmark) -> usize {
+    if smoke_mode() {
+        return 25;
+    }
     match benchmark {
         // Memcached moves a kilobyte per SET; keep wall time in check.
         Benchmark::Memcached => 120,
@@ -36,33 +80,22 @@ pub fn default_fases(benchmark: Benchmark) -> usize {
 }
 
 /// Runs one (benchmark, design) point and returns the simulated
-/// throughput in FASEs per second, averaged over [`SEEDS`].
+/// throughput in FASEs per second, averaged over [`seeds`].
+///
+/// Shares the sweep harness's memoized generate/lower path, so
+/// repeated calls against the same workload (e.g. the IntelX86
+/// baseline of a normalization) do not regenerate identical inputs.
 pub fn throughput(benchmark: Benchmark, design: DesignKind, cfg: &SimConfig, fases: usize) -> f64 {
+    let seeds = seeds();
     let mut sum = 0.0;
-    for &seed in &SEEDS {
-        let params = WorkloadParams::small(cfg.cores)
-            .with_fases(fases)
-            .with_seed(seed);
-        let g = benchmark.generate(&params);
-        let program = lower_program(design, &g.program);
-        let report = run_program(cfg.clone(), program).expect("valid experiment");
-        if !report.misspeculation_free() {
-            // Large core counts widen the speculation window (cores x path
-            // latency), which can trip rare conservative detections;
-            // recovery preserves every FASE, and the cost is already in
-            // the measured throughput. Surface it for the record.
-            eprintln!(
-                "note: {benchmark}/{design} ({} cores): {} load / {} store \
-                 misspeculations detected, {} FASEs re-executed",
-                cfg.cores,
-                report.load_misspec_detected,
-                report.store_misspec_detected,
-                report.fases_aborted
-            );
+    for &seed in seeds {
+        let (report, note) = sweep::run_point(benchmark, design, cfg, fases, seed);
+        if let Some(note) = note {
+            eprintln!("{note}");
         }
         sum += report.throughput();
     }
-    sum / SEEDS.len() as f64
+    sum / seeds.len() as f64
 }
 
 /// Runs one point and returns the full report (first seed only).
@@ -72,16 +105,12 @@ pub fn run_once(
     cfg: &SimConfig,
     fases: usize,
 ) -> RunReport {
-    let params = WorkloadParams::small(cfg.cores)
-        .with_fases(fases)
-        .with_seed(SEEDS[0]);
-    let g = benchmark.generate(&params);
-    run_program(cfg.clone(), lower_program(design, &g.program)).expect("valid experiment")
+    sweep::run_point(benchmark, design, cfg, fases, seeds()[0]).0
 }
 
 /// A row of normalized throughputs: benchmark label plus one relative
 /// value per design, normalized to IntelX86.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NormalizedRow {
     /// Benchmark label.
     pub label: String,
@@ -90,21 +119,47 @@ pub struct NormalizedRow {
     pub relative: Vec<f64>,
 }
 
-/// Runs the whole suite under `cfg` for `designs`, normalized to the
-/// IntelX86 baseline.
-pub fn normalized_suite_for(cfg: &SimConfig, designs: &[DesignKind]) -> Vec<NormalizedRow> {
+/// The sweep grid behind [`normalized_suite_for`]: every benchmark
+/// under every design (plus the IntelX86 baseline) for every seed.
+pub fn suite_spec(
+    cfg: &SimConfig,
+    designs: &[DesignKind],
+    seeds: &[u64],
+    fases: impl Fn(Benchmark) -> usize,
+) -> SweepSpec {
+    let mut with_base: Vec<DesignKind> = vec![DesignKind::IntelX86];
+    with_base.extend(
+        designs
+            .iter()
+            .copied()
+            .filter(|&d| d != DesignKind::IntelX86),
+    );
+    let mut spec = SweepSpec::new(vec![cfg.clone()]);
+    spec.add_grid(0, &with_base, seeds, fases);
+    spec
+}
+
+/// Reduces a [`suite_spec`] sweep into normalized rows, in benchmark
+/// order, baselines first — the same arithmetic (and therefore the
+/// same bits) as the historical serial loop.
+pub fn suite_rows(
+    results: &SweepResults,
+    designs: &[DesignKind],
+    seeds: &[u64],
+    fases: impl Fn(Benchmark) -> usize,
+) -> Vec<NormalizedRow> {
+    let _ = fases; // the grid fixed the FASE counts; kept for symmetry
     Benchmark::ALL
         .iter()
         .map(|&b| {
-            let fases = default_fases(b);
-            let base = throughput(b, DesignKind::IntelX86, cfg, fases);
+            let base = results.mean_throughput(0, b, DesignKind::IntelX86, seeds);
             let relative = designs
                 .iter()
                 .map(|&d| {
                     if d == DesignKind::IntelX86 {
                         1.0
                     } else {
-                        throughput(b, d, cfg, fases) / base
+                        results.mean_throughput(0, b, d, seeds) / base
                     }
                 })
                 .collect();
@@ -114,6 +169,23 @@ pub fn normalized_suite_for(cfg: &SimConfig, designs: &[DesignKind]) -> Vec<Norm
             }
         })
         .collect()
+}
+
+/// Runs the whole suite under `cfg` for `designs`, normalized to the
+/// IntelX86 baseline, on the parallel sweep harness.
+pub fn normalized_suite_with(
+    cfg: &SimConfig,
+    designs: &[DesignKind],
+    args: &BenchArgs,
+) -> Vec<NormalizedRow> {
+    let spec = suite_spec(cfg, designs, seeds(), default_fases);
+    let results = spec.run(args);
+    suite_rows(&results, designs, seeds(), default_fases)
+}
+
+/// [`normalized_suite_with`] using the process's command line.
+pub fn normalized_suite_for(cfg: &SimConfig, designs: &[DesignKind]) -> Vec<NormalizedRow> {
+    normalized_suite_with(cfg, designs, &BenchArgs::parse())
 }
 
 /// Runs the paper's four designs (Figure 9/10).
@@ -135,14 +207,14 @@ pub fn geomeans(rows: &[NormalizedRow]) -> Vec<f64> {
         .collect()
 }
 
-/// Output mode chosen by the `--csv` flag.
-pub fn csv_mode() -> bool {
-    std::env::args().any(|a| a == "--csv")
-}
-
 /// Prints rows as a markdown (or CSV) table with a geomean footer.
-pub fn print_suite_for(title: &str, designs: &[DesignKind], rows: &[NormalizedRow]) {
-    let csv = csv_mode();
+pub fn print_suite_with(
+    args: &BenchArgs,
+    title: &str,
+    designs: &[DesignKind],
+    rows: &[NormalizedRow],
+) {
+    let csv = args.csv;
     let labels: Vec<&str> = designs.iter().map(|d| d.label()).collect();
     let fmt_row = |vals: &[f64], digits: usize| -> String {
         vals.iter()
@@ -169,9 +241,71 @@ pub fn print_suite_for(title: &str, designs: &[DesignKind], rows: &[NormalizedRo
     }
 }
 
-/// Prints rows for the paper's four designs.
-pub fn print_suite(title: &str, rows: &[NormalizedRow]) {
-    print_suite_for(title, &DesignKind::ALL, rows);
+/// [`print_suite_with`] for the paper's four designs.
+pub fn print_suite(args: &BenchArgs, title: &str, rows: &[NormalizedRow]) {
+    print_suite_with(args, title, &DesignKind::ALL, rows);
+}
+
+/// Normalized suite rows as a JSON document (the `--json` payload of
+/// the figure binaries).
+pub fn suite_json(
+    figure: &str,
+    cores: usize,
+    designs: &[DesignKind],
+    rows: &[NormalizedRow],
+) -> Json {
+    Json::obj([
+        ("figure".into(), Json::Str(figure.into())),
+        ("cores".into(), Json::Num(cores as f64)),
+        (
+            "designs".into(),
+            Json::Arr(
+                designs
+                    .iter()
+                    .map(|d| Json::Str(d.label().into()))
+                    .collect(),
+            ),
+        ),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("benchmark".into(), Json::Str(r.label.clone())),
+                            (
+                                "relative".into(),
+                                Json::Arr(r.relative.iter().map(|&v| Json::Num(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "geomean".into(),
+            Json::Arr(geomeans(rows).into_iter().map(Json::Num).collect()),
+        ),
+    ])
+}
+
+/// Writes a binary's `--json` payload to its target path (creating
+/// `results/` if needed). No-op without `--json`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — experiment output going
+/// missing should fail the run loudly.
+pub fn write_json(args: &BenchArgs, name: &str, doc: &Json) {
+    let Some(path) = args.json_target(name) else {
+        return;
+    };
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    }
+    std::fs::write(&path, doc.render_pretty())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
 }
 
 /// The configuration used by Figure 11: the speculation buffer only sees
@@ -220,5 +354,19 @@ mod tests {
         let cfg = scaled_llc_config(8);
         assert!(cfg.validate().is_ok());
         assert_eq!(cfg.llc.size_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn suite_spec_covers_baseline_exactly_once() {
+        let cfg = SimConfig::asplos21(2);
+        let spec = suite_spec(&cfg, &DesignKind::ALL, &[11], |_| 5);
+        // 8 benchmarks x 4 designs x 1 seed; IntelX86 not duplicated.
+        assert_eq!(spec.points.len(), 8 * 4);
+        let baselines = spec
+            .points
+            .iter()
+            .filter(|p| p.key.design == DesignKind::IntelX86)
+            .count();
+        assert_eq!(baselines, 8);
     }
 }

@@ -1203,7 +1203,7 @@ impl System {
                         // the baseline.
                         let mut drained = buffers[idx].drained_at(t);
                         if drained > t {
-                            drained = drained + self.cfg.persist_path_latency;
+                            drained += self.cfg.persist_path_latency;
                         }
                         buffers[idx].ofence();
                         self.cores[idx].time = drained;
@@ -1229,7 +1229,7 @@ impl System {
                 // The drain acknowledgment returns over the persist path.
                 let mut drained = buffers[idx].drained_at(t);
                 if drained > t {
-                    drained = drained + self.cfg.persist_path_latency;
+                    drained += self.cfg.persist_path_latency;
                 }
                 let joined = self.join_loads(idx, t);
                 self.cores[idx].time = drained.max(joined);
@@ -1248,7 +1248,7 @@ impl System {
                     .max()
                     .unwrap_or(t);
                 if drained > t {
-                    drained = drained + self.cfg.persist_path_latency;
+                    drained += self.cfg.persist_path_latency;
                 }
                 let joined = self.join_loads(idx, t);
                 self.cores[idx].time = drained.max(joined);
@@ -1294,7 +1294,7 @@ impl System {
                 // The drain acknowledgment returns over the path.
                 let mut joined = buffers[idx].joined_at(t);
                 if joined > t {
-                    joined = joined + self.cfg.persist_path_latency;
+                    joined += self.cfg.persist_path_latency;
                 }
                 let loads = self.join_loads(idx, t);
                 self.cores[idx].time = joined.max(loads);
@@ -1338,7 +1338,7 @@ impl System {
                         // the drain acknowledgment returns over the path.
                         let mut drained = buffers[idx].drained_at(t);
                         if drained > t {
-                            drained = drained + self.cfg.persist_path_latency;
+                            drained += self.cfg.persist_path_latency;
                         }
                         done = done.max(drained);
                         self.stats.incr("dpo.barrier_drains");
@@ -1365,7 +1365,7 @@ impl System {
                 if let Machinery::Dpo { buffers, .. } = &self.machinery {
                     let mut drained = buffers[idx].drained_at(t);
                     if drained > t {
-                        drained = drained + self.cfg.persist_path_latency;
+                        drained += self.cfg.persist_path_latency;
                     }
                     release_at = release_at.max(drained);
                     self.stats.incr("dpo.barrier_drains");
@@ -1451,8 +1451,7 @@ impl System {
     pub fn run_until(mut self, crash_at: Cycle) -> CrashOutcome {
         let mut durable_fases = vec![0u64; self.cores.len()];
         let mut started_fases = vec![0u64; self.cores.len()];
-        loop {
-            let Some(idx) = self.next_core() else { break };
+        while let Some(idx) = self.next_core() {
             if self.cores[idx].time < self.stall_until {
                 self.cores[idx].time = self.stall_until;
             }

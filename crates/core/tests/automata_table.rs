@@ -36,25 +36,25 @@ fn drive(prefix: &[Input], input: Input) -> (State, bool) {
     let mut buf = SpecBuffer::new(16, WINDOW, DetectionMode::EvictionBased);
     let mut now = Cycle::from_ns(1);
     let step = Duration::from_ns(10);
-    let mut apply = |buf: &mut SpecBuffer, now: &mut Cycle, i: Input| -> bool {
+    let apply = |buf: &mut SpecBuffer, now: &mut Cycle, i: Input| -> bool {
         match i {
             Input::WriteBack => {
                 buf.on_writeback(line, *now);
-                *now = *now + step;
+                *now += step;
                 false
             }
             Input::Read => {
                 buf.on_read(line, *now);
-                *now = *now + step;
+                *now += step;
                 false
             }
             Input::Persist => {
                 let (d, _) = buf.on_persist(line, None, *now);
-                *now = *now + step;
+                *now += step;
                 d.iter().any(|d| matches!(d, Detection::LoadMisspec { .. }))
             }
             Input::Timer => {
-                *now = *now + WINDOW + step;
+                *now += WINDOW + step;
                 false
             }
         }
@@ -76,7 +76,7 @@ fn drive(prefix: &[Input], input: Input) -> (State, bool) {
         State::Speculated
     } else {
         let mut probe_b = buf.clone();
-        t = t + step;
+        t += step;
         probe_b.on_read(line, t);
         let (db, _) = probe_b.on_persist(line, None, t + step);
         if db

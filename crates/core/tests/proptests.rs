@@ -1,13 +1,23 @@
-//! Property tests for the speculation machinery.
-
-use proptest::prelude::*;
+//! Randomized tests for the speculation machinery.
+//!
+//! Previously written against the external `proptest` crate; ported to
+//! the in-tree deterministic [`SimRng`] so the workspace builds with no
+//! external dependencies (offline/vendored CI). Each case derives its
+//! inputs from a fixed master seed, so failures reproduce exactly; the
+//! case index is included in every assertion message.
 
 use pmem_spec::bloom::CountingBloom;
 use pmem_spec::spec_buffer::{Detection, DetectionMode, SpecBuffer};
 use pmemspec_engine::clock::{Cycle, Duration};
+use pmemspec_engine::SimRng;
 use pmemspec_isa::addr::{Addr, LineAddr};
 
 const WINDOW_NS: u64 = 160;
+const CASES: u64 = 128;
+
+fn case_rng(master: u64, case: u64) -> SimRng {
+    SimRng::seed_from_u64(master ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 fn line(i: u64) -> LineAddr {
     Addr::pm(i * 64).line()
@@ -21,12 +31,30 @@ enum Ev {
     Persist(u64, Option<u8>),
 }
 
-fn event() -> impl Strategy<Value = Ev> {
-    prop_oneof![
-        (0u64..6).prop_map(Ev::WriteBack),
-        (0u64..6).prop_map(Ev::Read),
-        ((0u64..6), prop::option::of(0u8..8)).prop_map(|(l, id)| Ev::Persist(l, id)),
-    ]
+fn random_event(rng: &mut SimRng) -> Ev {
+    match rng.gen_index(3) {
+        0 => Ev::WriteBack(rng.gen_range(6)),
+        1 => Ev::Read(rng.gen_range(6)),
+        _ => {
+            let id = if rng.gen_ratio(1, 2) {
+                Some(rng.gen_range(8) as u8)
+            } else {
+                None
+            };
+            Ev::Persist(rng.gen_range(6), id)
+        }
+    }
+}
+
+/// Random `(event, inter-arrival gap)` stream of length in `[1, max_len]`.
+fn random_events(rng: &mut SimRng, max_len: usize) -> Vec<(Ev, u64)> {
+    let n = 1 + rng.gen_index(max_len - 1);
+    (0..n)
+        .map(|_| {
+            let gap = 1 + rng.gen_range(39);
+            (random_event(rng), gap)
+        })
+        .collect()
 }
 
 /// Replays events with the given inter-arrival gaps and returns all
@@ -73,16 +101,14 @@ fn replay(buf: &mut SpecBuffer, events: &[(Ev, u64)]) -> (Vec<Detection>, Vec<(u
     (detections, true_patterns)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// With an unbounded buffer, eviction-based detection fires on every
-    /// unambiguous WriteBack→Read→Persist pattern inside the window — no
-    /// false negatives (soundness is what makes speculation safe).
-    #[test]
-    fn detector_catches_all_patterns_when_not_capacity_limited(
-        events in prop::collection::vec((event(), 1u64..40), 1..60)
-    ) {
+/// With an unbounded buffer, eviction-based detection fires on every
+/// unambiguous WriteBack→Read→Persist pattern inside the window — no
+/// false negatives (soundness is what makes speculation safe).
+#[test]
+fn detector_catches_all_patterns_when_not_capacity_limited() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xDE7EC7, case);
+        let events = random_events(&mut rng, 60);
         let mut buf = SpecBuffer::new(
             1024,
             Duration::from_ns(WINDOW_NS),
@@ -93,40 +119,64 @@ proptest! {
             .iter()
             .filter(|d| matches!(d, Detection::LoadMisspec { .. }))
             .count();
-        prop_assert!(
+        assert!(
             load_detections >= truth.len(),
-            "missed patterns: detected {load_detections}, reference {}",
+            "case {case}: missed patterns: detected {load_detections}, reference {}",
             truth.len()
         );
     }
+}
 
-    /// The buffer never exceeds its capacity, whatever the input.
-    #[test]
-    fn occupancy_bounded(
-        cap in 1usize..8,
-        events in prop::collection::vec((event(), 1u64..40), 1..80)
-    ) {
-        let mut buf = SpecBuffer::new(cap, Duration::from_ns(WINDOW_NS), DetectionMode::EvictionBased);
+/// The buffer never exceeds its capacity, whatever the input.
+#[test]
+fn occupancy_bounded() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x0CC0, case);
+        let cap = 1 + rng.gen_index(7);
+        let events = random_events(&mut rng, 80);
+        let mut buf = SpecBuffer::new(
+            cap,
+            Duration::from_ns(WINDOW_NS),
+            DetectionMode::EvictionBased,
+        );
         let mut now = 0u64;
         for &(ev, gap) in &events {
             now += gap;
             let t = Cycle::from_ns(now);
             match ev {
-                Ev::WriteBack(l) => { buf.on_writeback(line(l), t); }
-                Ev::Read(l) => { buf.on_read(line(l), t); }
-                Ev::Persist(l, id) => { buf.on_persist(line(l), id.map(u64::from), t); }
+                Ev::WriteBack(l) => {
+                    buf.on_writeback(line(l), t);
+                }
+                Ev::Read(l) => {
+                    buf.on_read(line(l), t);
+                }
+                Ev::Persist(l, id) => {
+                    buf.on_persist(line(l), id.map(u64::from), t);
+                }
             }
-            prop_assert!(buf.occupancy(t) <= cap);
+            assert!(
+                buf.occupancy(t) <= cap,
+                "case {case}: occupancy exceeded capacity {cap}"
+            );
         }
     }
+}
 
-    /// Store misspeculation fires exactly when tagged IDs for one line
-    /// invert within the window (given capacity headroom).
-    #[test]
-    fn store_detection_matches_id_inversions(
-        ids in prop::collection::vec((0u64..3, 0u8..16, 1u64..50), 1..40)
-    ) {
-        let mut buf = SpecBuffer::new(1024, Duration::from_ns(WINDOW_NS), DetectionMode::EvictionBased);
+/// Store misspeculation fires exactly when tagged IDs for one line
+/// invert within the window (given capacity headroom).
+#[test]
+fn store_detection_matches_id_inversions() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x1D_17, case);
+        let n = 1 + rng.gen_index(39);
+        let ids: Vec<(u64, u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(3), rng.gen_range(16), 1 + rng.gen_range(49)))
+            .collect();
+        let mut buf = SpecBuffer::new(
+            1024,
+            Duration::from_ns(WINDOW_NS),
+            DetectionMode::EvictionBased,
+        );
         let mut max_id: std::collections::HashMap<u64, (u64, u64)> = Default::default();
         let mut expected = 0usize;
         let mut got = 0usize;
@@ -134,7 +184,6 @@ proptest! {
         for &(l, id, gap) in &ids {
             now += gap;
             let t = Cycle::from_ns(now);
-            let id = u64::from(id);
             if let Some(&(prev, at)) = max_id.get(&l) {
                 if now < at + WINDOW_NS && prev > id {
                     expected += 1;
@@ -153,16 +202,22 @@ proptest! {
                 *entry = (entry.0.max(id), now);
             }
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}: detections vs reference");
     }
+}
 
-    /// The counting bloom filter has no false negatives under arbitrary
-    /// interleavings of inserts and removes.
-    #[test]
-    fn bloom_no_false_negatives(ops in prop::collection::vec((0u64..32, any::<bool>()), 1..200)) {
+/// The counting bloom filter has no false negatives under arbitrary
+/// interleavings of inserts and removes.
+#[test]
+fn bloom_no_false_negatives() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xB100, case);
+        let n = 1 + rng.gen_index(199);
         let mut f = CountingBloom::new(256);
         let mut counts = [0u32; 32];
-        for &(k, insert) in &ops {
+        for _ in 0..n {
+            let k = rng.gen_range(32);
+            let insert = rng.gen_ratio(1, 2);
             if insert {
                 f.insert(k);
                 counts[k as usize] += 1;
@@ -172,7 +227,10 @@ proptest! {
             }
             for (k, &c) in counts.iter().enumerate() {
                 if c > 0 {
-                    prop_assert!(f.might_contain(k as u64), "false negative for {k}");
+                    assert!(
+                        f.might_contain(k as u64),
+                        "case {case}: false negative for {k}"
+                    );
                 }
             }
         }

@@ -63,11 +63,9 @@ impl Histogram {
 
     /// Mean sample, or zero when empty.
     pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_cycles(self.sum_cycles / self.count)
-        }
+        self.sum_cycles
+            .checked_div(self.count)
+            .map_or(Duration::ZERO, Duration::from_cycles)
     }
 
     /// Smallest sample, or `None` when empty.

@@ -1,55 +1,95 @@
-//! Property tests for the simulation kernel.
-
-use proptest::prelude::*;
+//! Randomized tests for the simulation kernel.
+//!
+//! Previously written against the external `proptest` crate; ported to
+//! the in-tree deterministic [`SimRng`] so the workspace builds with no
+//! external dependencies (offline/vendored CI). Each case derives its
+//! inputs from a fixed master seed, so failures reproduce exactly; the
+//! case index is included in every assertion message.
 
 use pmemspec_engine::clock::{Cycle, Duration};
 use pmemspec_engine::stats::{Histogram, Stats};
 use pmemspec_engine::SimRng;
 
-proptest! {
-    /// gen_range is always in bounds and deterministic per seed.
-    #[test]
-    fn rng_range_in_bounds(seed: u64, bound in 1u64..1_000_000, draws in 1usize..50) {
+const CASES: u64 = 128;
+
+fn case_rng(master: u64, case: u64) -> SimRng {
+    SimRng::seed_from_u64(master ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// gen_range is always in bounds and deterministic per seed.
+#[test]
+fn rng_range_in_bounds() {
+    for case in 0..CASES {
+        let mut meta = case_rng(0xA11CE, case);
+        let seed = meta.next_u64();
+        let bound = 1 + meta.gen_range(1_000_000);
+        let draws = 1 + meta.gen_index(49);
         let mut a = SimRng::seed_from_u64(seed);
         let mut b = SimRng::seed_from_u64(seed);
         for _ in 0..draws {
             let x = a.gen_range(bound);
-            prop_assert!(x < bound);
-            prop_assert_eq!(x, b.gen_range(bound));
+            assert!(x < bound, "case {case}: {x} out of bound {bound}");
+            assert_eq!(x, b.gen_range(bound), "case {case}: streams diverged");
         }
     }
+}
 
-    /// Forked streams never rejoin the parent stream.
-    #[test]
-    fn rng_fork_diverges(seed: u64) {
+/// Forked streams never rejoin the parent stream.
+#[test]
+fn rng_fork_diverges() {
+    for case in 0..CASES {
+        let seed = case_rng(0xF0_4C, case).next_u64();
         let mut parent = SimRng::seed_from_u64(seed);
         let mut child = parent.fork();
         let collisions = (0..32)
             .filter(|_| parent.next_u64() == child.next_u64())
             .count();
-        prop_assert!(collisions <= 1);
+        assert!(collisions <= 1, "case {case}: {collisions} collisions");
     }
+}
 
-    /// Histogram count/sum/min/max always agree with the raw samples.
-    #[test]
-    fn histogram_summary_matches_samples(samples in prop::collection::vec(0u64..1_000_000, 1..100)) {
+/// Histogram count/sum/min/max always agree with the raw samples.
+#[test]
+fn histogram_summary_matches_samples() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x415706, case);
+        let n = 1 + rng.gen_index(99);
+        let samples: Vec<u64> = (0..n).map(|_| rng.gen_range(1_000_000)).collect();
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(Duration::from_cycles(s));
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
-        prop_assert_eq!(h.sum().raw(), samples.iter().sum::<u64>());
-        prop_assert_eq!(h.min().unwrap().raw(), *samples.iter().min().unwrap());
-        prop_assert_eq!(h.max().unwrap().raw(), *samples.iter().max().unwrap());
-        prop_assert_eq!(h.buckets().iter().sum::<u64>(), samples.len() as u64);
+        assert_eq!(h.count(), samples.len() as u64, "case {case}");
+        assert_eq!(h.sum().raw(), samples.iter().sum::<u64>(), "case {case}");
+        assert_eq!(
+            h.min().unwrap().raw(),
+            *samples.iter().min().unwrap(),
+            "case {case}"
+        );
+        assert_eq!(
+            h.max().unwrap().raw(),
+            *samples.iter().max().unwrap(),
+            "case {case}"
+        );
+        assert_eq!(
+            h.buckets().iter().sum::<u64>(),
+            samples.len() as u64,
+            "case {case}"
+        );
     }
+}
 
-    /// Merging two stats registries equals recording everything into one.
-    #[test]
-    fn stats_merge_equals_union(
-        xs in prop::collection::vec(0u64..10_000, 0..40),
-        ys in prop::collection::vec(0u64..10_000, 0..40),
-    ) {
+/// Merging two stats registries equals recording everything into one.
+#[test]
+fn stats_merge_equals_union() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x57A75, case);
+        let xs: Vec<u64> = (0..rng.gen_index(40))
+            .map(|_| rng.gen_range(10_000))
+            .collect();
+        let ys: Vec<u64> = (0..rng.gen_index(40))
+            .map(|_| rng.gen_range(10_000))
+            .collect();
         let mut a = Stats::new();
         let mut b = Stats::new();
         let mut whole = Stats::new();
@@ -66,29 +106,34 @@ proptest! {
             whole.observe("h", Duration::from_cycles(y));
         }
         a.merge(&b);
-        prop_assert_eq!(a.counter("c"), whole.counter("c"));
-        let (ha, hw) = (a.histogram("h"), whole.histogram("h"));
-        match (ha, hw) {
+        assert_eq!(a.counter("c"), whole.counter("c"), "case {case}");
+        match (a.histogram("h"), whole.histogram("h")) {
             (Some(ha), Some(hw)) => {
-                prop_assert_eq!(ha.count(), hw.count());
-                prop_assert_eq!(ha.sum(), hw.sum());
-                prop_assert_eq!(ha.min(), hw.min());
-                prop_assert_eq!(ha.max(), hw.max());
+                assert_eq!(ha.count(), hw.count(), "case {case}");
+                assert_eq!(ha.sum(), hw.sum(), "case {case}");
+                assert_eq!(ha.min(), hw.min(), "case {case}");
+                assert_eq!(ha.max(), hw.max(), "case {case}");
             }
             (None, None) => {}
-            _ => prop_assert!(false, "one histogram exists, the other does not"),
+            _ => panic!("case {case}: one histogram exists, the other does not"),
         }
     }
+}
 
-    /// Cycle/Duration arithmetic is consistent.
-    #[test]
-    fn clock_arithmetic(base in 0u64..1_000_000_000, d1 in 0u64..1_000_000, d2 in 0u64..1_000_000) {
+/// Cycle/Duration arithmetic is consistent.
+#[test]
+fn clock_arithmetic() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xC10C4, case);
+        let base = rng.gen_range(1_000_000_000);
+        let d1 = rng.gen_range(1_000_000);
+        let d2 = rng.gen_range(1_000_000);
         let t = Cycle::from_raw(base);
         let a = t + Duration::from_cycles(d1) + Duration::from_cycles(d2);
         let b = t + (Duration::from_cycles(d1) + Duration::from_cycles(d2));
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(a - t, Duration::from_cycles(d1 + d2));
-        prop_assert_eq!(a.saturating_since(t).raw(), d1 + d2);
-        prop_assert_eq!(t.saturating_since(a), Duration::ZERO);
+        assert_eq!(a, b, "case {case}");
+        assert_eq!(a - t, Duration::from_cycles(d1 + d2), "case {case}");
+        assert_eq!(a.saturating_since(t).raw(), d1 + d2, "case {case}");
+        assert_eq!(t.saturating_since(a), Duration::ZERO, "case {case}");
     }
 }

@@ -1,13 +1,23 @@
-//! Property tests: lowering arbitrary well-formed abstract programs
+//! Randomized tests: lowering arbitrary well-formed abstract programs
 //! always yields valid per-design instruction streams with the expected
 //! structure.
+//!
+//! Previously written against the external `proptest` crate; ported to
+//! the in-tree deterministic [`SimRng`] so the workspace builds with no
+//! external dependencies (offline/vendored CI). Each case derives its
+//! inputs from a fixed master seed, so failures reproduce exactly.
 
-use proptest::prelude::*;
-
-use pmemspec_isa::abs::{AbsOp, AbsProgram, AbsThread};
+use pmemspec_engine::SimRng;
+use pmemspec_isa::abs::{AbsProgram, AbsThread};
 use pmemspec_isa::{lower_program, Addr, DesignKind, LockId, Op, ValueSrc};
 
-/// One abstract action inside a FASE body, chosen by the strategy.
+const CASES: u64 = 64;
+
+fn case_rng(master: u64, case: u64) -> SimRng {
+    SimRng::seed_from_u64(master ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One abstract action inside a FASE body.
 #[derive(Debug, Clone, Copy)]
 enum Action {
     Log(u8),
@@ -19,16 +29,28 @@ enum Action {
     CriticalSection(u8, u8),
 }
 
-fn action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0u8..16).prop_map(Action::Log),
-        Just(Action::LogOrder),
-        (0u8..16).prop_map(Action::Data),
-        Just(Action::DataOrder),
-        (0u8..16).prop_map(Action::Read),
-        (1u8..100).prop_map(Action::Compute),
-        ((0u8..4), (0u8..16)).prop_map(|(l, a)| Action::CriticalSection(l, a)),
-    ]
+fn random_action(rng: &mut SimRng) -> Action {
+    match rng.gen_index(7) {
+        0 => Action::Log(rng.gen_range(16) as u8),
+        1 => Action::LogOrder,
+        2 => Action::Data(rng.gen_range(16) as u8),
+        3 => Action::DataOrder,
+        4 => Action::Read(rng.gen_range(16) as u8),
+        5 => Action::Compute(1 + rng.gen_range(99) as u8),
+        _ => Action::CriticalSection(rng.gen_range(4) as u8, rng.gen_range(16) as u8),
+    }
+}
+
+/// `fase_bound` FASEs max (at least 1), each with up to `body_bound`
+/// actions.
+fn random_fases(rng: &mut SimRng, fase_bound: usize, body_bound: usize) -> Vec<Vec<Action>> {
+    let n = 1 + rng.gen_index(fase_bound - 1);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_index(body_bound);
+            (0..len).map(|_| random_action(rng)).collect()
+        })
+        .collect()
 }
 
 fn build(fases: &[Vec<Action>]) -> AbsProgram {
@@ -73,27 +95,31 @@ fn count<F: Fn(&Op) -> bool>(ops: &[Op], f: F) -> usize {
     ops.iter().filter(|o| f(o)).count()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every design's lowering of every well-formed program validates.
-    #[test]
-    fn lowering_always_validates(
-        fases in prop::collection::vec(prop::collection::vec(action(), 0..12), 1..6)
-    ) {
+/// Every design's lowering of every well-formed program validates.
+#[test]
+fn lowering_always_validates() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x7A11D, case);
+        let fases = random_fases(&mut rng, 6, 12);
         let p = build(&fases);
         for d in DesignKind::ALL {
             let lowered = lower_program(d, &p);
-            prop_assert!(lowered.validate().is_ok(), "{d}: {:?}", lowered.validate());
+            assert!(
+                lowered.validate().is_ok(),
+                "case {case}: {d}: {:?}",
+                lowered.validate()
+            );
         }
     }
+}
 
-    /// Lowering preserves the store stream: same PM stores, same order,
-    /// same values, for every design.
-    #[test]
-    fn lowering_preserves_stores(
-        fases in prop::collection::vec(prop::collection::vec(action(), 0..12), 1..5)
-    ) {
+/// Lowering preserves the store stream: same PM stores, same order,
+/// same values, for every design.
+#[test]
+fn lowering_preserves_stores() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x5704E5, case);
+        let fases = random_fases(&mut rng, 5, 12);
         let p = build(&fases);
         let reference: Vec<(Addr, ValueSrc)> = lower_program(DesignKind::PmemSpec, &p)
             .thread(0)
@@ -114,65 +140,92 @@ proptest! {
                     _ => None,
                 })
                 .collect();
-            prop_assert_eq!(&stores, &reference, "{}", d);
+            assert_eq!(&stores, &reference, "case {case}: {d}");
         }
     }
+}
 
-    /// Design-specific structure: x86 ends every FASE with SFENCE; HOPS
-    /// with dfence; PMEM-Spec with spec-barrier; CLWB count equals the
-    /// number of distinct consecutive-line runs of PM stores.
-    #[test]
-    fn design_specific_structure(
-        fases in prop::collection::vec(prop::collection::vec(action(), 0..10), 1..4)
-    ) {
+/// Design-specific structure: x86 ends every FASE with SFENCE; HOPS
+/// with dfence; PMEM-Spec with spec-barrier; CLWB count equals the
+/// number of distinct consecutive-line runs of PM stores.
+#[test]
+fn design_specific_structure() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x574C7, case);
+        let fases = random_fases(&mut rng, 4, 10);
         let p = build(&fases);
         let n = fases.len();
         let x86 = lower_program(DesignKind::IntelX86, &p);
         let hops = lower_program(DesignKind::Hops, &p);
         let spec = lower_program(DesignKind::PmemSpec, &p);
-        prop_assert!(count(x86.thread(0).ops(), |o| matches!(o, Op::Sfence)) >= n);
-        prop_assert_eq!(count(hops.thread(0).ops(), |o| matches!(o, Op::Dfence)), n);
-        prop_assert_eq!(count(spec.thread(0).ops(), |o| matches!(o, Op::SpecBarrier)), n);
+        assert!(
+            count(x86.thread(0).ops(), |o| matches!(o, Op::Sfence)) >= n,
+            "case {case}"
+        );
+        assert_eq!(
+            count(hops.thread(0).ops(), |o| matches!(o, Op::Dfence)),
+            n,
+            "case {case}"
+        );
+        assert_eq!(
+            count(spec.thread(0).ops(), |o| matches!(o, Op::SpecBarrier)),
+            n,
+            "case {case}"
+        );
         // PMEM-Spec carries no flushes or fences at all.
-        prop_assert_eq!(
+        assert_eq!(
             count(spec.thread(0).ops(), |o| matches!(
                 o,
                 Op::Clwb { .. } | Op::Sfence | Op::Ofence | Op::Dfence
             )),
-            0
+            0,
+            "case {case}"
         );
         // spec-assign / spec-revoke pair up with lock/unlock.
         let locks = count(spec.thread(0).ops(), |o| matches!(o, Op::Lock { .. }));
-        prop_assert_eq!(count(spec.thread(0).ops(), |o| matches!(o, Op::SpecAssign)), locks);
-        prop_assert_eq!(count(spec.thread(0).ops(), |o| matches!(o, Op::SpecRevoke)), locks);
+        assert_eq!(
+            count(spec.thread(0).ops(), |o| matches!(o, Op::SpecAssign)),
+            locks,
+            "case {case}"
+        );
+        assert_eq!(
+            count(spec.thread(0).ops(), |o| matches!(o, Op::SpecRevoke)),
+            locks,
+            "case {case}"
+        );
     }
+}
 
-    /// Every store on IntelX86 is covered by a CLWB on its line before
-    /// the next fence.
-    #[test]
-    fn x86_stores_are_flushed_before_fences(
-        fases in prop::collection::vec(prop::collection::vec(action(), 0..10), 1..4)
-    ) {
+/// Every store on IntelX86 is covered by a CLWB on its line before
+/// the next fence.
+#[test]
+fn x86_stores_are_flushed_before_fences() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xF1E5, case);
+        let fases = random_fases(&mut rng, 4, 10);
         let p = build(&fases);
         let x86 = lower_program(DesignKind::IntelX86, &p);
         let mut dirty: Vec<Addr> = Vec::new();
         for op in x86.thread(0).ops() {
             match *op {
-                Op::Store { addr, .. } if addr.is_pm() => {
-                    if !dirty.iter().any(|d| d.line() == addr.line()) {
-                        dirty.push(addr);
-                    }
+                Op::Store { addr, .. }
+                    if addr.is_pm() && !dirty.iter().any(|d| d.line() == addr.line()) =>
+                {
+                    dirty.push(addr);
                 }
                 Op::Clwb { addr } => dirty.retain(|d| d.line() != addr.line()),
                 Op::Sfence => {
-                    prop_assert!(
+                    assert!(
                         dirty.is_empty(),
-                        "SFENCE with unflushed PM lines: {dirty:?}"
+                        "case {case}: SFENCE with unflushed PM lines: {dirty:?}"
                     );
                 }
                 _ => {}
             }
         }
-        prop_assert!(dirty.is_empty(), "program ends with unflushed PM lines");
+        assert!(
+            dirty.is_empty(),
+            "case {case}: program ends with unflushed PM lines"
+        );
     }
 }

@@ -312,7 +312,9 @@ impl CacheHierarchy {
             if write {
                 self.invalidate_peers(line, None);
             }
-            self.llc.touch(line, write && false); // LLC dirtiness tracks data newer than memory; a new L1-dirty copy keeps LLC bit unchanged.
+            // LLC dirtiness tracks data newer than memory; a new L1-dirty
+            // copy keeps the LLC bit unchanged, so never mark dirty here.
+            self.llc.touch(line, false);
             self.install_l1(core, line, write);
             return AccessOutcome {
                 completed,

@@ -1,29 +1,36 @@
-//! Property tests for the memory substrate.
-
-use proptest::prelude::*;
+//! Randomized tests for the memory substrate.
+//!
+//! Previously written against the external `proptest` crate; ported to
+//! the in-tree deterministic [`SimRng`] so the workspace builds with no
+//! external dependencies (offline/vendored CI). Each case derives its
+//! inputs from a fixed master seed, so failures reproduce exactly.
 
 use pmemspec_engine::clock::Cycle;
-use pmemspec_engine::SimConfig;
+use pmemspec_engine::{SimConfig, SimRng};
 use pmemspec_isa::addr::{Addr, LineAddr};
 use pmemspec_mem::hierarchy::AccessKind;
 use pmemspec_mem::{CacheHierarchy, Dram, MemoryImage, PmController, SetAssocCache};
+
+const CASES: u64 = 64;
+
+fn case_rng(master: u64, case: u64) -> SimRng {
+    SimRng::seed_from_u64(master ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 fn line(i: u64) -> LineAddr {
     Addr::pm(i * 64).line()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The cache never holds more lines than its capacity, and a line is
-    /// resident immediately after insertion.
-    #[test]
-    fn cache_capacity_invariant(
-        inserts in prop::collection::vec(0u64..256, 1..200),
-        sets in 1usize..5,
-        ways in 1usize..5,
-    ) {
-        let sets = 1 << sets;
+/// The cache never holds more lines than its capacity, and a line is
+/// resident immediately after insertion.
+#[test]
+fn cache_capacity_invariant() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xCAC4E, case);
+        let sets = 1 << (1 + rng.gen_index(4));
+        let ways = 1 + rng.gen_index(4);
+        let n = 1 + rng.gen_index(199);
+        let inserts: Vec<u64> = (0..n).map(|_| rng.gen_range(256)).collect();
         let mut c = SetAssocCache::new(sets, ways);
         for &i in &inserts {
             let l = line(i);
@@ -32,15 +39,20 @@ proptest! {
             } else {
                 c.touch(l, i % 3 == 0);
             }
-            prop_assert!(c.contains(l));
-            prop_assert!(c.len() <= sets * ways);
+            assert!(c.contains(l), "case {case}: inserted line not resident");
+            assert!(c.len() <= sets * ways, "case {case}: over capacity");
         }
     }
+}
 
-    /// An evicted victim was resident before and is gone after; nothing
-    /// else changes residency.
-    #[test]
-    fn eviction_only_removes_the_victim(ops in prop::collection::vec(0u64..64, 1..100)) {
+/// An evicted victim was resident before and is gone after; nothing
+/// else changes residency.
+#[test]
+fn eviction_only_removes_the_victim() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xE71C7, case);
+        let n = 1 + rng.gen_index(99);
+        let ops: Vec<u64> = (0..n).map(|_| rng.gen_range(64)).collect();
         let mut c = SetAssocCache::new(4, 2);
         let mut resident: std::collections::HashSet<LineAddr> = Default::default();
         for &i in &ops {
@@ -52,24 +64,32 @@ proptest! {
             let out = c.insert(l, false);
             resident.insert(l);
             if let Some((victim, _)) = out.victim {
-                prop_assert!(resident.remove(&victim), "victim {victim} was not resident");
-                prop_assert!(!c.contains(victim));
+                assert!(
+                    resident.remove(&victim),
+                    "case {case}: victim {victim} was not resident"
+                );
+                assert!(!c.contains(victim), "case {case}");
             }
             for &r in &resident {
-                prop_assert!(c.contains(r), "{r} lost without eviction");
+                assert!(c.contains(r), "case {case}: {r} lost without eviction");
             }
         }
     }
+}
 
-    /// MemoryImage: crash() projects volatile state onto exactly the
-    /// persisted words.
-    #[test]
-    fn crash_is_persistent_projection(
-        writes in prop::collection::vec((0u64..64, any::<u64>(), any::<bool>()), 1..100)
-    ) {
+/// MemoryImage: crash() projects volatile state onto exactly the
+/// persisted words.
+#[test]
+fn crash_is_persistent_projection() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xC8A54, case);
+        let n = 1 + rng.gen_index(99);
         let mut img = MemoryImage::new();
         let mut expected: std::collections::HashMap<u64, u64> = Default::default();
-        for &(slot, value, persist) in &writes {
+        for _ in 0..n {
+            let slot = rng.gen_range(64);
+            let value = rng.next_u64();
+            let persist = rng.gen_ratio(1, 2);
             let addr = Addr::pm(slot * 8);
             img.store_volatile(addr, value);
             if persist {
@@ -80,18 +100,23 @@ proptest! {
         img.crash();
         for slot in 0..64u64 {
             let addr = Addr::pm(slot * 8);
-            prop_assert_eq!(
+            assert_eq!(
                 img.read_volatile(addr),
-                expected.get(&slot).copied().unwrap_or(0)
+                expected.get(&slot).copied().unwrap_or(0),
+                "case {case}: slot {slot}"
             );
         }
     }
+}
 
-    /// PMC service times are monotone in arrival order per port, and a
-    /// write is never durable before it arrives.
-    #[test]
-    fn pmc_service_monotone(arrivals in prop::collection::vec(0u64..10_000, 1..100)) {
-        let mut sorted = arrivals.clone();
+/// PMC service times are monotone in arrival order per port, and a
+/// write is never durable before it arrives.
+#[test]
+fn pmc_service_monotone() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x90007, case);
+        let n = 1 + rng.gen_index(99);
+        let mut sorted: Vec<u64> = (0..n).map(|_| rng.gen_range(10_000)).collect();
         sorted.sort_unstable();
         let cfg = SimConfig::asplos21(8);
         let mut pmc = PmController::new(&cfg.pm);
@@ -99,83 +124,127 @@ proptest! {
         for &a in &sorted {
             let t = Cycle::from_raw(a);
             let svc = pmc.write(t);
-            prop_assert!(svc.accepted >= t, "durable before arrival");
-            prop_assert!(svc.done >= svc.accepted);
-            prop_assert!(svc.done >= last_done, "service order inverted");
+            assert!(svc.accepted >= t, "case {case}: durable before arrival");
+            assert!(svc.done >= svc.accepted, "case {case}");
+            assert!(svc.done >= last_done, "case {case}: service order inverted");
             last_done = svc.done;
         }
     }
+}
 
-    /// Coherence invariant: after any access sequence, a line has at most
-    /// one modified owner, and an owner implies residency in that L1.
-    #[test]
-    fn single_writer_invariant(
-        ops in prop::collection::vec((0usize..4, 0u64..8, any::<bool>()), 1..150)
-    ) {
+/// Coherence invariant: after any access sequence, a line has at most
+/// one modified owner, and an owner implies residency in that L1.
+#[test]
+fn single_writer_invariant() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x014E4, case);
+        let n = 1 + rng.gen_index(149);
         let mut cfg = SimConfig::asplos21(4);
         cfg.l1.size_bytes = 512;
         cfg.llc.size_bytes = 2048;
         let mut h = CacheHierarchy::new(&cfg);
         let mut pmc = PmController::new(&cfg.pm);
         let mut dram = Dram::new(&cfg.dram);
-        for (i, &(core, l, write)) in ops.iter().enumerate() {
-            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        for i in 0..n {
+            let core = rng.gen_index(4);
+            let l = rng.gen_range(8);
+            let write = rng.gen_ratio(1, 2);
+            let kind = if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let now = Cycle::from_raw(i as u64 * 1000);
-            let out = h.access(core, kind, line(l), now, std::slice::from_mut(&mut pmc), &mut dram);
-            prop_assert!(out.completed >= now);
+            let out = h.access(
+                core,
+                kind,
+                line(l),
+                now,
+                std::slice::from_mut(&mut pmc),
+                &mut dram,
+            );
+            assert!(out.completed >= now, "case {case}");
             if write {
-                prop_assert_eq!(h.owner(line(l)), Some(core), "writer must own the line");
+                assert_eq!(
+                    h.owner(line(l)),
+                    Some(core),
+                    "case {case}: writer must own the line"
+                );
             }
             if let Some(owner) = h.owner(line(l)) {
-                prop_assert!(owner < 4);
+                assert!(owner < 4, "case {case}");
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Structural invariants (directory/L1 agreement, unique dirty owner,
-    /// inclusivity) hold after every access of any access sequence.
-    #[test]
-    fn hierarchy_invariants_hold_under_any_access_sequence(
-        ops in prop::collection::vec((0usize..4, 0u64..24, any::<bool>()), 1..200)
-    ) {
+/// Structural invariants (directory/L1 agreement, unique dirty owner,
+/// inclusivity) hold after every access of any access sequence.
+#[test]
+fn hierarchy_invariants_hold_under_any_access_sequence() {
+    for case in 0..48 {
+        let mut rng = case_rng(0x147411, case);
+        let n = 1 + rng.gen_index(199);
         let mut cfg = SimConfig::asplos21(4);
         cfg.l1.size_bytes = 512;
         cfg.llc.size_bytes = 1024; // smaller than sum of L1s: eviction-heavy
         let mut h = CacheHierarchy::new(&cfg);
         let mut pmc = PmController::new(&cfg.pm);
         let mut dram = Dram::new(&cfg.dram);
-        for (i, &(core, l, write)) in ops.iter().enumerate() {
-            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        for i in 0..n {
+            let core = rng.gen_index(4);
+            let l = rng.gen_range(24);
+            let write = rng.gen_ratio(1, 2);
+            let kind = if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let now = Cycle::from_raw(i as u64 * 500);
-            h.access(core, kind, line(l), now, std::slice::from_mut(&mut pmc), &mut dram);
+            h.access(
+                core,
+                kind,
+                line(l),
+                now,
+                std::slice::from_mut(&mut pmc),
+                &mut dram,
+            );
             h.check_invariants();
         }
     }
 }
 
-proptest! {
-    /// Persist-path deliveries are strictly increasing regardless of the
-    /// interleaving of sends and back-pressure notes.
-    #[test]
-    fn persist_path_deliveries_strictly_increase(
-        ops in prop::collection::vec((0u64..500, prop::option::of(0u64..2000)), 1..100)
-    ) {
-        use pmemspec_mem::PersistPath;
-        use pmemspec_engine::clock::Duration;
+/// Persist-path deliveries are strictly increasing regardless of the
+/// interleaving of sends and back-pressure notes.
+#[test]
+fn persist_path_deliveries_strictly_increase() {
+    use pmemspec_engine::clock::Duration;
+    use pmemspec_mem::PersistPath;
+    for case in 0..CASES {
+        let mut rng = case_rng(0xF1F0, case);
+        let n = 1 + rng.gen_index(99);
         let mut path = PersistPath::new(Duration::from_ns(20), Duration::from_cycles(1));
         let mut now = 0u64;
         let mut last = None;
-        for &(gap, backpressure) in &ops {
+        for _ in 0..n {
+            let gap = rng.gen_range(500);
+            let backpressure = if rng.gen_ratio(1, 2) {
+                Some(rng.gen_range(2000))
+            } else {
+                None
+            };
             now += gap;
             let d = path.send(Cycle::from_ns(now));
             if let Some(prev) = last {
-                prop_assert!(d > prev, "FIFO deliveries must strictly increase");
+                assert!(
+                    d > prev,
+                    "case {case}: FIFO deliveries must strictly increase"
+                );
             }
-            prop_assert!(d >= Cycle::from_ns(now + 20), "never faster than the path");
+            assert!(
+                d >= Cycle::from_ns(now + 20),
+                "case {case}: never faster than the path"
+            );
             if let Some(extra) = backpressure {
                 path.note_backpressure(d + Duration::from_ns(extra));
             }

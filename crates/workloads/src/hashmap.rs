@@ -138,11 +138,7 @@ mod tests {
             match op {
                 AbsOp::FaseBegin { .. } => in_fase_writes = 0,
                 AbsOp::LogWrite { .. } => in_fase_writes += 1,
-                AbsOp::FaseEnd { .. } => {
-                    if in_fase_writes == 0 {
-                        read_only_fases += 1;
-                    }
-                }
+                AbsOp::FaseEnd { .. } if in_fase_writes == 0 => read_only_fases += 1,
                 _ => {}
             }
         }

@@ -38,14 +38,19 @@ const NIL: u64 = 0;
 /// Distinct keys each thread draws from.
 const KEYS: u64 = 512;
 
+/// One recorded field read: `(node, field)`.
+pub type ReadTrace = Vec<(u64, usize)>;
+/// One recorded field write: `(node, field, value)`.
+pub type WriteTrace = Vec<(u64, usize, u64)>;
+
 /// A red-black tree that records every field access.
 #[derive(Debug, Clone)]
 pub struct TracedTree {
     nodes: Vec<[u64; 8]>,
     root: u64,
     free: Vec<u64>,
-    reads: Vec<(u64, usize)>,
-    writes: Vec<(u64, usize, u64)>,
+    reads: ReadTrace,
+    writes: WriteTrace,
 }
 
 impl Default for TracedTree {
@@ -86,7 +91,7 @@ impl TracedTree {
     }
 
     /// Takes the accesses recorded since the last drain.
-    pub fn drain_trace(&mut self) -> (Vec<(u64, usize)>, Vec<(u64, usize, u64)>) {
+    pub fn drain_trace(&mut self) -> (ReadTrace, WriteTrace) {
         (
             std::mem::take(&mut self.reads),
             std::mem::take(&mut self.writes),
@@ -562,7 +567,7 @@ mod tests {
     fn workload_generates_and_traces() {
         let g = generate(&WorkloadParams::small(2).with_fases(30));
         assert_eq!(g.program.thread_count(), 2);
-        assert!(!g.expected_final.is_empty() || g.program.len() > 0);
+        assert!(!g.expected_final.is_empty() || !g.program.is_empty());
         // Descents produce plenty of reads.
         let reads = g
             .program

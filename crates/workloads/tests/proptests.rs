@@ -1,24 +1,39 @@
-//! Property tests for the workload generators.
+//! Randomized tests for the workload generators.
+//!
+//! Previously written against the external `proptest` crate; ported to
+//! the in-tree deterministic [`SimRng`] so the workspace builds with no
+//! external dependencies (offline/vendored CI). Each case derives its
+//! inputs from a fixed master seed, so failures reproduce exactly.
 
-use proptest::prelude::*;
-
+use pmemspec_engine::SimRng;
 use pmemspec_isa::abs::AbsOp;
 use pmemspec_workloads::rbtree::TracedTree;
 use pmemspec_workloads::{Benchmark, WorkloadParams};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// The red-black tree keeps its invariants and matches a BTreeSet
-    /// reference under arbitrary insert/delete sequences.
-    #[test]
-    fn rbtree_matches_reference(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..120)) {
+fn case_rng(master: u64, case: u64) -> SimRng {
+    SimRng::seed_from_u64(master ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The red-black tree keeps its invariants and matches a BTreeSet
+/// reference under arbitrary insert/delete sequences.
+#[test]
+fn rbtree_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x4B7EE, case);
+        let n = 1 + rng.gen_index(119);
         let mut tree = TracedTree::new();
         let mut reference = std::collections::BTreeSet::new();
-        for &(key, insert) in &ops {
-            let key = key + 1; // keys are nonzero
+        for _ in 0..n {
+            let key = rng.gen_range(64) + 1; // keys are nonzero
+            let insert = rng.gen_ratio(1, 2);
             let found = tree.search(key);
-            prop_assert_eq!(found.is_some(), reference.contains(&key));
+            assert_eq!(
+                found.is_some(),
+                reference.contains(&key),
+                "case {case}: search disagrees with reference"
+            );
             if insert {
                 if found.is_none() {
                     tree.insert(key, key);
@@ -31,31 +46,50 @@ proptest! {
             tree.check_invariants();
         }
         let keys: Vec<u64> = reference.iter().copied().collect();
-        prop_assert_eq!(tree.keys(), keys);
+        assert_eq!(tree.keys(), keys, "case {case}");
     }
+}
 
-    /// Every benchmark is deterministic in its seed and scales its FASE
-    /// count as requested.
-    #[test]
-    fn generation_seeded_and_sized(seed: u64, fases in 1usize..20, threads in 1usize..4) {
-        let params = WorkloadParams { threads, fases_per_thread: fases, seed };
+/// Every benchmark is deterministic in its seed and scales its FASE
+/// count as requested.
+#[test]
+fn generation_seeded_and_sized() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x5EED, case);
+        let seed = rng.next_u64();
+        let fases = 1 + rng.gen_index(19);
+        let threads = 1 + rng.gen_index(3);
+        let params = WorkloadParams {
+            threads,
+            fases_per_thread: fases,
+            seed,
+        };
         for b in Benchmark::ALL {
             let a = b.generate(&params);
             let c = b.generate(&params);
-            prop_assert_eq!(&a.program, &c.program, "{} not deterministic", b);
+            assert_eq!(&a.program, &c.program, "case {case}: {b} not deterministic");
             let d = b.generate(&params.with_seed(seed ^ 0x5555_5555));
             // Different seeds change the access pattern for the random
             // workloads (queue op mix may coincide on tiny runs).
             let _ = d;
-            prop_assert_eq!(a.program.thread_count(), threads);
+            assert_eq!(a.program.thread_count(), threads, "case {case}: {b}");
         }
     }
+}
 
-    /// Structural sanity for every generated program: FASE markers are
-    /// balanced and locks release inside their FASE.
-    #[test]
-    fn programs_are_well_formed(seed: u64, fases in 1usize..10) {
-        let params = WorkloadParams { threads: 2, fases_per_thread: fases, seed };
+/// Structural sanity for every generated program: FASE markers are
+/// balanced and locks release inside their FASE.
+#[test]
+fn programs_are_well_formed() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xF05E, case);
+        let seed = rng.next_u64();
+        let fases = 1 + rng.gen_index(9);
+        let params = WorkloadParams {
+            threads: 2,
+            fases_per_thread: fases,
+            seed,
+        };
         for b in Benchmark::ALL {
             let g = b.generate(&params);
             for ops in g.program.threads() {
@@ -64,24 +98,24 @@ proptest! {
                 for op in ops {
                     match op {
                         AbsOp::FaseBegin { .. } => {
-                            prop_assert!(!in_fase, "{b}: nested FASE");
+                            assert!(!in_fase, "case {case}: {b}: nested FASE");
                             in_fase = true;
                         }
                         AbsOp::FaseEnd { .. } => {
-                            prop_assert!(in_fase, "{b}: unmatched FaseEnd");
-                            prop_assert_eq!(held, 0, "{} holds locks at FASE end", b);
+                            assert!(in_fase, "case {case}: {b}: unmatched FaseEnd");
+                            assert_eq!(held, 0, "case {case}: {b} holds locks at FASE end");
                             in_fase = false;
                         }
                         AbsOp::LockAcquire { .. } => held += 1,
                         AbsOp::LockRelease { .. } => held -= 1,
                         AbsOp::LogWrite { .. } | AbsOp::DataWrite { .. } => {
-                            prop_assert!(in_fase, "{b}: PM write outside a FASE");
+                            assert!(in_fase, "case {case}: {b}: PM write outside a FASE");
                         }
                         _ => {}
                     }
-                    prop_assert!(held >= 0, "{b}: release without acquire");
+                    assert!(held >= 0, "case {case}: {b}: release without acquire");
                 }
-                prop_assert!(!in_fase, "{b}: unclosed FASE");
+                assert!(!in_fase, "case {case}: {b}: unclosed FASE");
             }
         }
     }

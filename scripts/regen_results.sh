@@ -1,6 +1,17 @@
 #!/usr/bin/env bash
-# Regenerates every experiment artifact under results/.
-# Usage: scripts/regen_results.sh   (~10 minutes; fig10 dominates)
+# Regenerates every experiment artifact under results/ (markdown + JSON).
+#
+# The binaries fan their simulation grids out across host cores via the
+# sweep harness in crates/bench/src/sweep.rs; output is byte-identical
+# to a serial run. Knobs:
+#
+#   PMEMSPEC_JOBS=N    worker threads per binary (default: all cores)
+#   PMEMSPEC_SMOKE=1   reduced grid (2 cores, 1 seed, 25 FASEs) — fast
+#                      sanity pass, NOT the checked-in numbers
+#
+# Wall time: ~4 minutes serially on one core (fig10 dominates); a
+# multi-core machine divides that by roughly its core count. Pass
+# --serial to reproduce the single-threaded run exactly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release --workspace
@@ -8,10 +19,10 @@ mkdir -p results
 for bin in table3 fig9 fig11 fig12 misspec ablation_detect ablation_checkpoint \
            extended multi_pmc characterize; do
     echo "== $bin"
-    ./target/release/$bin > "results/$bin.md"
+    ./target/release/$bin --json "$@" > "results/$bin.md"
 done
 echo "== fig10 (16/32/64 cores, the slow one)"
-./target/release/fig10 > results/fig10.md
+./target/release/fig10 --json "$@" > results/fig10.md
 if command -v python3 >/dev/null; then
     python3 scripts/render_figures.py
 fi

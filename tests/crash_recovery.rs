@@ -12,11 +12,7 @@ use pmem_spec_repro::workloads::array_swaps;
 /// Crash fractions of the full run time to test.
 const CRASH_POINTS: [u64; 5] = [5, 23, 50, 77, 95];
 
-fn crash_times(
-    design: DesignKind,
-    program: &pmem_spec_repro::isa::Program,
-    cores: usize,
-) -> Vec<Cycle> {
+fn crash_times(program: &pmem_spec_repro::isa::Program, cores: usize) -> Vec<Cycle> {
     let full = System::new(SimConfig::asplos21(cores), program.clone())
         .unwrap()
         .run();
@@ -34,7 +30,7 @@ fn array_swaps_recovers_atomically_under_every_design() {
     let base = array_swaps::data_base(&params);
     for design in DesignKind::ALL {
         let program = lower_program(design, &g.program);
-        for crash_at in crash_times(design, &program, 2) {
+        for crash_at in crash_times(&program, 2) {
             let sys = System::new(SimConfig::asplos21(2), program.clone()).unwrap();
             let outcome = sys.run_until(crash_at);
             let mut snapshot = outcome.persistent;
@@ -80,7 +76,7 @@ fn durable_fases_survive_crashes() {
     let undo = g.undo.expect("undo workload");
     for design in DesignKind::ALL {
         let program = lower_program(design, &g.program);
-        for crash_at in crash_times(design, &program, 2) {
+        for crash_at in crash_times(&program, 2) {
             let sys = System::new(SimConfig::asplos21(2), program.clone()).unwrap();
             let outcome = sys.run_until(crash_at);
             let durable: u64 = outcome.durable_fases.iter().sum();
@@ -103,7 +99,7 @@ fn recovery_is_idempotent_on_crash_states() {
     let g = Benchmark::ArraySwaps.generate(&params);
     let undo = g.undo.expect("undo workload");
     let program = lower_program(DesignKind::PmemSpec, &g.program);
-    for crash_at in crash_times(DesignKind::PmemSpec, &program, 2) {
+    for crash_at in crash_times(&program, 2) {
         let sys = System::new(SimConfig::asplos21(2), program.clone()).unwrap();
         let mut snapshot = sys.run_until(crash_at).persistent;
         undo.recover(&mut snapshot);
@@ -126,7 +122,7 @@ fn queue_counters_stay_consistent_across_crashes() {
     let deq_count = base.offset(192);
     for design in DesignKind::ALL {
         let program = lower_program(design, &g.program);
-        for crash_at in crash_times(design, &program, 2) {
+        for crash_at in crash_times(&program, 2) {
             let sys = System::new(SimConfig::asplos21(2), program.clone()).unwrap();
             let outcome = sys.run_until(crash_at);
             let mut snapshot = outcome.persistent;
@@ -152,7 +148,7 @@ fn redo_recovery_replays_committed_transactions() {
     let redo = g.redo.expect("redo workload");
     for design in [DesignKind::IntelX86, DesignKind::PmemSpec] {
         let program = lower_program(design, &g.program);
-        for crash_at in crash_times(design, &program, 2) {
+        for crash_at in crash_times(&program, 2) {
             let sys = System::new(SimConfig::asplos21(2), program.clone()).unwrap();
             let outcome = sys.run_until(crash_at);
             let mut snapshot = outcome.persistent;

@@ -43,7 +43,7 @@ fn moderate_latency_detections_are_conservative_but_safe() {
         );
         assert_eq!(r.fases_committed, 20, "{path_ns}ns");
         assert_eq!(
-            r.fases_aborted as u64 + 0,
+            r.fases_aborted,
             r.load_misspec_detected.min(r.fases_aborted),
             "{path_ns}ns"
         );

@@ -1,15 +1,21 @@
-//! End-to-end property test: arbitrary well-formed abstract programs run
+//! End-to-end randomized test: arbitrary well-formed abstract programs run
 //! under every design, commit every FASE, preserve strict-persistency
 //! ground truth, and agree on final coherent values across designs.
+//!
+//! Previously written against the external `proptest` crate; ported to
+//! the in-tree deterministic [`SimRng`] so the workspace builds with no
+//! external dependencies (offline/vendored CI). Each case derives its
+//! inputs from a fixed master seed, so failures reproduce exactly.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
 use pmem_spec_repro::core::System;
+use pmem_spec_repro::engine::SimRng;
 use pmem_spec_repro::isa::abs::{AbsProgram, AbsThread};
 use pmem_spec_repro::isa::{Addr, LockId, ValueSrc};
 use pmem_spec_repro::prelude::*;
+
+const CASES: u64 = 24;
 
 /// One abstract action in a generated FASE.
 #[derive(Debug, Clone, Copy)]
@@ -23,16 +29,31 @@ enum Action {
     Counter(u8),
 }
 
-fn action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0u8..12).prop_map(Action::Log),
-        Just(Action::LogOrder),
-        (0u8..12).prop_map(Action::Data),
-        Just(Action::DataOrder),
-        (0u8..12).prop_map(Action::Read),
-        (1u8..60).prop_map(Action::Compute),
-        (0u8..4).prop_map(Action::Counter),
-    ]
+fn random_action(rng: &mut SimRng) -> Action {
+    match rng.gen_index(7) {
+        0 => Action::Log(rng.gen_range(12) as u8),
+        1 => Action::LogOrder,
+        2 => Action::Data(rng.gen_range(12) as u8),
+        3 => Action::DataOrder,
+        4 => Action::Read(rng.gen_range(12) as u8),
+        5 => Action::Compute(1 + rng.gen_range(59) as u8),
+        _ => Action::Counter(rng.gen_range(4) as u8),
+    }
+}
+
+/// Two threads, each with 1–4 FASEs of 0–7 actions.
+fn random_program_shape(rng: &mut SimRng) -> Vec<Vec<Vec<Action>>> {
+    (0..2)
+        .map(|_| {
+            let fases = 1 + rng.gen_index(4);
+            (0..fases)
+                .map(|_| {
+                    let n = rng.gen_index(8);
+                    (0..n).map(|_| random_action(rng)).collect()
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Builds a two-thread program: thread-private data regions plus shared
@@ -101,16 +122,11 @@ fn counter_increments(per_thread: &[Vec<Vec<Action>>], k: u8) -> u64 {
         .count() as u64
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn arbitrary_programs_run_correctly_under_every_design(
-        per_thread in prop::collection::vec(
-            prop::collection::vec(prop::collection::vec(action(), 0..8), 1..5),
-            2..3,
-        )
-    ) {
+#[test]
+fn arbitrary_programs_run_correctly_under_every_design() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x5157EA ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let per_thread = random_program_shape(&mut rng);
         let program = build(&per_thread);
         let total_fases: u64 = per_thread.iter().map(|f| f.len() as u64).sum();
         let mut finals: Vec<HashMap<Addr, u64>> = Vec::new();
@@ -118,17 +134,17 @@ proptest! {
             let lowered = lower_program(design, &program);
             let sys = System::new(SimConfig::asplos21(per_thread.len()), lowered).unwrap();
             let (report, image) = sys.run_full();
-            prop_assert_eq!(report.fases_committed, total_fases, "{}", design);
-            prop_assert_eq!(report.fases_aborted, 0, "{}", design);
-            prop_assert_eq!(report.persist_order_violations, 0, "{}", design);
-            prop_assert!(report.misspeculation_free(), "{}", design);
+            assert_eq!(report.fases_committed, total_fases, "case {case}: {design}");
+            assert_eq!(report.fases_aborted, 0, "case {case}: {design}");
+            assert_eq!(report.persist_order_violations, 0, "case {case}: {design}");
+            assert!(report.misspeculation_free(), "case {case}: {design}");
             // Shared counters: exact final values regardless of design.
             for k in 0u8..4 {
                 let counter = Addr::pm(65536 + u64::from(k) * 64);
-                prop_assert_eq!(
+                assert_eq!(
                     image.read_volatile(counter),
                     counter_increments(&per_thread, k),
-                    "{}: counter {} wrong", design, k
+                    "case {case}: {design}: counter {k} wrong"
                 );
             }
             // Collect all persistent values of the data regions: every
@@ -144,7 +160,10 @@ proptest! {
             finals.push(snap);
         }
         for pair in finals.windows(2) {
-            prop_assert_eq!(&pair[0], &pair[1], "designs disagree on final persistent data");
+            assert_eq!(
+                &pair[0], &pair[1],
+                "case {case}: designs disagree on final persistent data"
+            );
         }
     }
 }
