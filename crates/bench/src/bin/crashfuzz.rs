@@ -1,0 +1,268 @@
+//! Crash-consistency fuzzer + persistency litmus driver.
+//!
+//! Two phases, both fanned through the sweep worker pool:
+//!
+//! 1. **Litmus**: every (litmus test × design) pair from
+//!    [`pmemspec_crashtest::litmus_suite`] is swept over crash points;
+//!    any persisted outcome outside the design's allowed set is an
+//!    expectation mismatch.
+//! 2. **Fuzz**: the full (benchmark × design × seed) grid — 8 workloads
+//!    × 5 designs × the seed set — samples crash cycles (dense around
+//!    fences/CLWBs/FASE markers/persist arrivals, sparse elsewhere),
+//!    replays each design's recovery (undo or redo per workload), and
+//!    checks the oracle invariants on the recovered image.
+//!
+//! Exit code is nonzero on any mismatch or violation; each failure
+//! prints a one-line reproducer (`benchmark=… design=… seed=…
+//! crash_cycle=…`). `PMEMSPEC_SMOKE=1` shrinks the fuzz grid (1 seed,
+//! fewer FASEs and crash points) but always runs the full litmus suite.
+//! The default grid samples well over 1,000 distinct crash points.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pmemspec_bench::sweep::{parallel_map, worker_count};
+use pmemspec_bench::{seeds, smoke_mode, write_json, BenchArgs, Json};
+use pmemspec_crashtest::{litmus_suite, run_fuzz_job, run_litmus, FuzzJob};
+use pmemspec_isa::DesignKind;
+use pmemspec_workloads::{Benchmark, WorkloadParams};
+
+/// Threads per fuzzed workload (2 keeps one grid point affordable while
+/// still exercising locks and cross-core persists).
+const THREADS: usize = 2;
+
+fn fases_for(benchmark: Benchmark, smoke: bool) -> usize {
+    let base = match benchmark {
+        // Memcached FASEs are 1 KiB-value transactions — much longer.
+        Benchmark::Memcached => 6,
+        _ => 12,
+    };
+    if smoke {
+        base / 2
+    } else {
+        base
+    }
+}
+
+fn main() -> ExitCode {
+    let args = BenchArgs::parse();
+    let smoke = smoke_mode();
+    let workers = worker_count(&args);
+    let started = Instant::now();
+
+    // --- Phase 1: the litmus suite (always in full). --------------------
+    let suite = litmus_suite();
+    let pairs: Vec<(usize, DesignKind)> = (0..suite.len())
+        .flat_map(|t| DesignKind::ALL_EXTENDED.map(|d| (t, d)))
+        .collect();
+    let litmus_reports = parallel_map(pairs.len(), workers, |i| {
+        let (t, design) = pairs[i];
+        run_litmus(&suite[t], design)
+    });
+
+    println!("## Persistency litmus suite");
+    println!();
+    println!("| test | design | crash points | distinct outcomes | mismatches |");
+    println!("|---|---|---|---|---|");
+    let mut litmus_points = 0usize;
+    let mut mismatches = Vec::new();
+    for r in &litmus_reports {
+        litmus_points += r.points;
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            r.test,
+            r.design.label(),
+            r.points,
+            r.outcomes.len(),
+            r.mismatches.len()
+        );
+        mismatches.extend(r.mismatches.iter().cloned());
+    }
+    println!();
+
+    // --- Phase 2: the fuzz grid. ----------------------------------------
+    let seeds = seeds();
+    let crash_points = if smoke { 4 } else { 12 };
+    let jobs: Vec<FuzzJob> = Benchmark::ALL
+        .iter()
+        .flat_map(|&benchmark| {
+            DesignKind::ALL_EXTENDED.iter().flat_map(move |&design| {
+                seeds.iter().map(move |&seed| FuzzJob {
+                    benchmark,
+                    design,
+                    params: WorkloadParams::small(THREADS)
+                        .with_fases(fases_for(benchmark, smoke))
+                        .with_seed(seed),
+                    crash_points,
+                    fuzz_seed: pmemspec_isa::log_mix(
+                        seed ^ ((benchmark as u64) << 8) ^ ((design as u64) << 16),
+                    ),
+                })
+            })
+        })
+        .collect();
+    let results = parallel_map(jobs.len(), workers, |i| run_fuzz_job(&jobs[i]));
+
+    println!("## Crash-consistency fuzz grid");
+    println!();
+    println!(
+        "{} workloads x {} designs x {} seed(s), {} threads, {} sampled crash \
+         points per job (+1 completion point)",
+        Benchmark::ALL.len(),
+        DesignKind::ALL_EXTENDED.len(),
+        seeds.len(),
+        THREADS,
+        crash_points
+    );
+    println!();
+    println!("| benchmark | design | points | boundaries | rolled back | torn | max durable | violations |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let mut fuzz_points = 0usize;
+    let mut violations = Vec::new();
+    for r in &results {
+        fuzz_points += r.points;
+        if r.seed == seeds[0] {
+            // One row per (benchmark, design); aggregate the seeds.
+            let group: Vec<_> = results
+                .iter()
+                .filter(|x| x.benchmark == r.benchmark && x.design == r.design)
+                .collect();
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                r.benchmark.label(),
+                r.design.label(),
+                group.iter().map(|x| x.points).sum::<usize>(),
+                group.iter().map(|x| x.boundaries).sum::<usize>(),
+                group.iter().map(|x| x.rolled_back_total).sum::<u64>(),
+                group.iter().map(|x| x.torn_total).sum::<u64>(),
+                group.iter().map(|x| x.max_durable).max().unwrap_or(0),
+                group.iter().map(|x| x.violations.len()).sum::<usize>(),
+            );
+        }
+        violations.extend(r.violations.iter().cloned());
+    }
+    println!();
+    println!(
+        "{} litmus crash points, {} fuzz crash points, {} total",
+        litmus_points,
+        fuzz_points,
+        litmus_points + fuzz_points,
+    );
+    println!();
+    // Wall clock goes to stderr so the checked-in markdown is
+    // byte-stable across regenerations.
+    eprintln!(
+        "crashfuzz: {:.1} s, {} workers",
+        started.elapsed().as_secs_f64(),
+        workers
+    );
+
+    // --- JSON artifact. --------------------------------------------------
+    let doc = Json::obj([
+        ("smoke".into(), Json::Bool(smoke)),
+        ("litmus_points".into(), Json::Num(litmus_points as f64)),
+        ("fuzz_points".into(), Json::Num(fuzz_points as f64)),
+        (
+            "litmus".into(),
+            Json::Arr(
+                litmus_reports
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("test".into(), Json::Str(r.test.into())),
+                            ("design".into(), Json::Str(r.design.label().into())),
+                            ("points".into(), Json::Num(r.points as f64)),
+                            (
+                                "outcomes".into(),
+                                Json::Arr(
+                                    r.outcomes
+                                        .iter()
+                                        .map(|o| {
+                                            Json::Arr(
+                                                o.iter().map(|&v| Json::Num(v as f64)).collect(),
+                                            )
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            ("mismatches".into(), Json::Num(r.mismatches.len() as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "fuzz".into(),
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("benchmark".into(), Json::Str(r.benchmark.label().into())),
+                            ("design".into(), Json::Str(r.design.label().into())),
+                            ("seed".into(), Json::Num(r.seed as f64)),
+                            ("points".into(), Json::Num(r.points as f64)),
+                            ("boundaries".into(), Json::Num(r.boundaries as f64)),
+                            ("total_cycles".into(), Json::Num(r.total_cycles as f64)),
+                            ("rolled_back".into(), Json::Num(r.rolled_back_total as f64)),
+                            ("torn".into(), Json::Num(r.torn_total as f64)),
+                            ("violations".into(), Json::Num(r.violations.len() as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "violations".into(),
+            Json::Arr(
+                violations
+                    .iter()
+                    .map(|v| {
+                        Json::obj([
+                            ("invariant".into(), Json::Str(v.invariant.into())),
+                            ("reproducer".into(), Json::Str(v.reproducer())),
+                            ("detail".into(), Json::Str(v.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "litmus_mismatches".into(),
+            Json::Arr(
+                mismatches
+                    .iter()
+                    .map(|m| Json::Str(m.to_string()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    write_json(&args, "crashfuzz", &doc);
+
+    // --- Verdict. ---------------------------------------------------------
+    if !smoke && litmus_points + fuzz_points < 1_000 {
+        eprintln!(
+            "crashfuzz: default grid swept only {} crash points (< 1000)",
+            litmus_points + fuzz_points
+        );
+        return ExitCode::FAILURE;
+    }
+    if mismatches.is_empty() && violations.is_empty() {
+        println!("crashfuzz: zero litmus mismatches, zero oracle violations");
+        ExitCode::SUCCESS
+    } else {
+        for m in &mismatches {
+            eprintln!("LITMUS MISMATCH: {m}");
+        }
+        for v in &violations {
+            eprintln!("ORACLE VIOLATION: {v}");
+            eprintln!("  reproduce with: {}", v.reproducer());
+        }
+        eprintln!(
+            "crashfuzz FAILED: {} litmus mismatches, {} oracle violations",
+            mismatches.len(),
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

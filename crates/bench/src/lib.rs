@@ -13,6 +13,7 @@
 //! | `misspec` | §8.4 (misspeculation rates + synthetic inducer sweep) |
 //! | `ablation_detect` | Figure 4/6 (fetch- vs eviction-based detection) |
 //! | `smoke` | CI gate: reduced grid vs `results/smoke_reference.json` |
+//! | `crashfuzz` | crash-consistency fuzzer + persistency litmus suite |
 //!
 //! Results print as markdown tables; every binary accepts the shared
 //! flag set parsed by [`BenchArgs`] (`--csv`, `--json`, `--serial`,

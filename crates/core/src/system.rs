@@ -346,6 +346,10 @@ pub struct System {
     dropped_pending: std::collections::HashSet<LineAddr>,
     /// Optional execution trace (Chrome trace export).
     tracer: Option<TraceRecorder>,
+    /// Optional log of crash-interesting cycles (persist arrivals plus
+    /// fence/CLWB/checkpoint/FASE-marker execution instants), recorded by
+    /// [`System::run_boundaries`] for crash-point samplers.
+    boundary_log: Option<Vec<Cycle>>,
 }
 
 impl System {
@@ -490,6 +494,7 @@ impl System {
             pending_line_persists: HashMap::new(),
             dropped_pending: std::collections::HashSet::new(),
             tracer: None,
+            boundary_log: None,
             cfg,
             program,
         })
@@ -582,6 +587,16 @@ impl System {
     fn drain_events(&mut self, now: Cycle) {
         while self.events.peek().is_some_and(|Reverse(e)| e.time <= now) {
             let Reverse(event) = self.events.pop().expect("peeked");
+            if let Some(log) = &mut self.boundary_log {
+                // Persist arrivals are exactly the instants where the
+                // crash-visible image changes.
+                if matches!(
+                    event.kind,
+                    PmcEventKind::PersistWord { .. } | PmcEventKind::PersistLine { .. }
+                ) {
+                    log.push(event.time);
+                }
+            }
             match event.kind {
                 PmcEventKind::WriteBack { line } => {
                     if std::env::var_os("PMEMSPEC_DEBUG_DETECT").is_some() {
@@ -1520,6 +1535,19 @@ impl System {
                 continue;
             }
             let pc_before = self.cores[idx].pc;
+            if self.boundary_log.is_some() {
+                let boundary = self
+                    .program
+                    .thread(idx)
+                    .ops()
+                    .get(pc_before)
+                    .is_some_and(Op::is_crash_boundary);
+                if boundary {
+                    if let Some(log) = &mut self.boundary_log {
+                        log.push(t);
+                    }
+                }
+            }
             self.step(idx);
             if self.tracer.is_some() {
                 self.record_step(idx, pc_before, t);
@@ -1630,6 +1658,29 @@ impl System {
         self.run_loop();
         let tracer = self.tracer.take().unwrap_or_default();
         (self.build_report(), tracer)
+    }
+
+    /// Runs to completion recording every *crash-interesting* cycle: the
+    /// execution instant of each fence/CLWB/checkpoint/FASE marker (see
+    /// [`Op::is_crash_boundary`]) plus the arrival time of every persist
+    /// at the PM controller. The returned list is sorted and deduplicated.
+    ///
+    /// Crash-point samplers use this to weight crash cycles toward the
+    /// moments where the reachable persisted state changes shape, instead
+    /// of sampling blind over `[0, total_time]`.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`System::run`].
+    pub fn run_boundaries(mut self) -> (RunReport, Vec<Cycle>) {
+        if self.boundary_log.is_none() {
+            self.boundary_log = Some(Vec::new());
+        }
+        self.run_loop();
+        let mut log = self.boundary_log.take().unwrap_or_default();
+        log.sort_unstable();
+        log.dedup();
+        (self.build_report(), log)
     }
 }
 

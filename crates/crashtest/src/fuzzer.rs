@@ -1,0 +1,263 @@
+//! The crash-point fuzzer: sample crash cycles, recover, check the oracle.
+//!
+//! One [`FuzzJob`] covers one (workload × design × seed) grid point:
+//!
+//! 1. generate and lower the workload;
+//! 2. run once with [`System::run_boundaries`] to learn the total run
+//!    length and every crash-interesting cycle (fence/CLWB/FASE-marker
+//!    execution instants and persist arrivals);
+//! 3. build a crash plan with [`crash_plan`]: two thirds of the budget
+//!    lands *densely* around sampled boundaries (± a small jitter), the
+//!    rest *sparsely* uniform over the whole run — torn states cluster
+//!    around ordering events, but blind spots hide elsewhere;
+//! 4. for each planned cycle, re-run with [`System::run_until`], replay
+//!    the workload's recovery, and run the [`crate::oracle`];
+//! 5. finish with the run-to-completion point ([`Cycle::MAX`]), where the
+//!    oracle additionally demands a clean recovery and the expected final
+//!    values.
+//!
+//! Crash cycles are visited in ascending order so the fuzzer can also
+//! check *cross-point monotonicity*: the set of persisted words only ever
+//! grows with time, and per-thread durable counts never go backwards.
+
+use pmem_spec::System;
+use pmemspec_engine::{Cycle, SimConfig, SimRng};
+use pmemspec_isa::{lower_program, DesignKind};
+use pmemspec_workloads::{Benchmark, WorkloadParams};
+
+use crate::oracle::{check_crash_point, CrashPointCtx, Violation};
+
+/// Dense samples get jittered by up to this many cycles on either side of
+/// a boundary (covers the in-flight window right around an event).
+const DENSE_JITTER: u64 = 32;
+
+/// One (workload × design × seed) fuzzing point.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzJob {
+    /// The workload to fuzz.
+    pub benchmark: Benchmark,
+    /// The design to fuzz it on.
+    pub design: DesignKind,
+    /// Generation parameters (threads, FASEs, workload seed).
+    pub params: WorkloadParams,
+    /// How many crash points to sample (the completion point is extra).
+    pub crash_points: usize,
+    /// Seed for the crash-point sampler (independent of the workload
+    /// seed, so the same program can be fuzzed with fresh plans).
+    pub fuzz_seed: u64,
+}
+
+/// What one fuzz job observed.
+#[derive(Debug, Clone)]
+pub struct FuzzJobResult {
+    /// Job identity.
+    pub benchmark: Benchmark,
+    /// Job identity.
+    pub design: DesignKind,
+    /// Job identity.
+    pub seed: u64,
+    /// Distinct crash cycles actually executed (completion point
+    /// included).
+    pub points: usize,
+    /// Crash-interesting cycles the boundary pre-run reported.
+    pub boundaries: usize,
+    /// Total run length in cycles.
+    pub total_cycles: u64,
+    /// Generations rolled back / discarded across all points.
+    pub rolled_back_total: u64,
+    /// Torn log entries rejected across all points.
+    pub torn_total: u64,
+    /// Most durable FASEs seen at any point (sanity signal that the
+    /// sampler reaches deep into the run).
+    pub max_durable: u64,
+    /// Every oracle violation found, each with a reproducer.
+    pub violations: Vec<Violation>,
+}
+
+/// Builds the sampled crash plan: `budget` cycles, two thirds dense
+/// around `boundaries`, one third uniform over `[0, total]`, ascending
+/// and deduplicated. Deterministic in `rng`.
+pub fn crash_plan(
+    boundaries: &[Cycle],
+    total: Cycle,
+    budget: usize,
+    rng: &mut SimRng,
+) -> Vec<Cycle> {
+    let mut plan = Vec::with_capacity(budget);
+    let dense = if boundaries.is_empty() {
+        0
+    } else {
+        budget * 2 / 3
+    };
+    for _ in 0..dense {
+        let b = boundaries[rng.gen_index(boundaries.len())].raw();
+        let jitter = rng.gen_range(2 * DENSE_JITTER + 1);
+        let at = (b + jitter).saturating_sub(DENSE_JITTER).min(total.raw());
+        plan.push(Cycle::from_raw(at));
+    }
+    for _ in dense..budget {
+        plan.push(Cycle::from_raw(rng.gen_range(total.raw() + 1)));
+    }
+    plan.sort_unstable();
+    plan.dedup();
+    plan
+}
+
+/// Runs one fuzz job to completion. Panics only on simulator build
+/// errors (a harness bug, not a finding); all findings come back as
+/// [`Violation`]s.
+pub fn run_fuzz_job(job: &FuzzJob) -> FuzzJobResult {
+    let workload = job.benchmark.generate(&job.params);
+    let program = lower_program(job.design, &workload.program);
+    let cfg = SimConfig::asplos21(job.params.threads);
+
+    // Pre-run: learn the landscape.
+    let (report, boundaries) = System::new(cfg.clone(), program.clone())
+        .expect("fuzz job must build")
+        .run_boundaries();
+    let total = report.total_time;
+
+    let mut rng = SimRng::seed_from_u64(job.fuzz_seed);
+    let mut plan = crash_plan(&boundaries, total, job.crash_points, &mut rng);
+    plan.push(Cycle::MAX); // the run-to-completion point
+
+    let mut result = FuzzJobResult {
+        benchmark: job.benchmark,
+        design: job.design,
+        seed: job.params.seed,
+        points: 0,
+        boundaries: boundaries.len(),
+        total_cycles: total.raw(),
+        rolled_back_total: 0,
+        torn_total: 0,
+        max_durable: 0,
+        violations: Vec::new(),
+    };
+
+    // Cross-point monotonicity state.
+    let mut prev_persisted_words = 0usize;
+    let mut prev_durable: Vec<u64> = vec![0; job.params.threads];
+
+    for crash_at in plan {
+        let outcome = System::new(cfg.clone(), program.clone())
+            .expect("fuzz job must build")
+            .run_until(crash_at);
+        result.points += 1;
+
+        // Monotonicity: crash later, persist (weakly) more; durability
+        // never retreats.
+        if outcome.persistent.len() < prev_persisted_words {
+            result.violations.push(Violation {
+                invariant: "persist-monotonicity",
+                detail: format!(
+                    "persisted word count fell from {prev_persisted_words} to {} at a \
+                     later crash point",
+                    outcome.persistent.len()
+                ),
+                benchmark: job.benchmark,
+                design: job.design,
+                seed: job.params.seed,
+                threads: job.params.threads,
+                fases: job.params.fases_per_thread,
+                crash_cycle: crash_at.raw(),
+            });
+        }
+        prev_persisted_words = outcome.persistent.len();
+        for (tid, (&d, prev)) in outcome
+            .durable_fases
+            .iter()
+            .zip(&mut prev_durable)
+            .enumerate()
+        {
+            if d < *prev {
+                result.violations.push(Violation {
+                    invariant: "durability-monotonicity",
+                    detail: format!(
+                        "thread {tid}: durable FASE count fell from {prev} to {d} at a \
+                         later crash point"
+                    ),
+                    benchmark: job.benchmark,
+                    design: job.design,
+                    seed: job.params.seed,
+                    threads: job.params.threads,
+                    fases: job.params.fases_per_thread,
+                    crash_cycle: crash_at.raw(),
+                });
+            }
+            *prev = d;
+        }
+        result.max_durable = result
+            .max_durable
+            .max(outcome.durable_fases.iter().sum::<u64>());
+
+        let ctx = CrashPointCtx {
+            workload: &workload,
+            outcome: &outcome,
+            benchmark: job.benchmark,
+            design: job.design,
+            params: job.params,
+            crash_at,
+        };
+        let (_recovered, violations) = check_crash_point(&ctx);
+        result.violations.extend(violations);
+
+        // Stats for the report (recover again on a scratch copy is
+        // wasteful; reuse the oracle's first-pass numbers instead).
+        let mut scratch = outcome.persistent.clone();
+        let o = workload.recover(&mut scratch);
+        result.rolled_back_total += o.rolled_back as u64;
+        result.torn_total += o.torn_entries as u64;
+    }
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_plan_is_sorted_deduped_and_in_range() {
+        let boundaries: Vec<Cycle> = [100u64, 500, 900].map(Cycle::from_raw).into();
+        let total = Cycle::from_raw(1000);
+        let mut rng = SimRng::seed_from_u64(7);
+        let plan = crash_plan(&boundaries, total, 64, &mut rng);
+        assert!(!plan.is_empty());
+        assert!(plan.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        assert!(plan.iter().all(|&c| c <= total));
+    }
+
+    #[test]
+    fn crash_plan_is_deterministic_in_seed() {
+        let boundaries: Vec<Cycle> = [10u64, 20].map(Cycle::from_raw).into();
+        let total = Cycle::from_raw(50);
+        let a = crash_plan(&boundaries, total, 16, &mut SimRng::seed_from_u64(3));
+        let b = crash_plan(&boundaries, total, 16, &mut SimRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_plan_without_boundaries_is_all_sparse() {
+        let total = Cycle::from_raw(100);
+        let plan = crash_plan(&[], total, 8, &mut SimRng::seed_from_u64(1));
+        assert!(plan.iter().all(|&c| c <= total));
+    }
+
+    #[test]
+    fn tiny_fuzz_job_reports_clean() {
+        let job = FuzzJob {
+            benchmark: Benchmark::Queue,
+            design: DesignKind::PmemSpec,
+            params: WorkloadParams::small(2).with_fases(3),
+            crash_points: 4,
+            fuzz_seed: 42,
+        };
+        let r = run_fuzz_job(&job);
+        assert!(r.points >= 2, "at least one sample plus completion");
+        assert!(
+            r.violations.is_empty(),
+            "unexpected violations: {:?}",
+            r.violations
+        );
+    }
+}

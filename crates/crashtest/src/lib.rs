@@ -1,0 +1,46 @@
+//! Crash-consistency fuzzing and persistency litmus testing.
+//!
+//! The paper's whole argument is that PMEM-Spec stays *correct* while
+//! speculating past persist ordering: misspeculation is turned into a
+//! virtual power failure and delegated to the failure-atomic runtime (§6).
+//! This crate turns that claim into an enforced property across every
+//! design and workload, following the formal-persistency literature
+//! (Khyzha & Lahav's *Taming x86-TSO Persistency*; Klimis & Donaldson's
+//! *Lost in Interpretation*): persistency models are best validated by
+//! systematically observing persisted outcomes at crash points.
+//!
+//! Two subsystems:
+//!
+//! * [`fuzzer`] — a crash-point fuzzer. For every (workload × design ×
+//!   seed) point it runs the program once with
+//!   [`pmem_spec::System::run_boundaries`] to learn where the
+//!   crash-interesting cycles are (fences, CLWBs, FASE markers, persist
+//!   arrivals), samples crash cycles densely around those and sparsely
+//!   over the rest of the run, re-executes with
+//!   [`pmem_spec::System::run_until`] for each, replays the workload's
+//!   recovery (undo or redo, via [`pmemspec_workloads::GeneratedWorkload::recover`]),
+//!   and checks the [`oracle`] invariants on the recovered image.
+//!
+//! * [`litmus`] — a persistency litmus engine. A small set of one- and
+//!   two-thread programs (store→store, flush→store, epoch, lock-ordered,
+//!   durability-flag, cross-controller) each with per-design *allowed*
+//!   persisted-outcome sets keyed on
+//!   [`pmemspec_isa::PersistencyClass`]. The engine sweeps crash points
+//!   over each program and asserts every raw persisted outcome is in the
+//!   design's allowed set — with **no recovery step**, so it pins down
+//!   the hardware models themselves.
+//!
+//! What this proves and what it cannot: the fuzzer checks *reachable*
+//! crash states on sampled cycles, so it refutes (with a seed +
+//! crash-cycle reproducer) but never verifies exhaustively; the litmus
+//! engine is exhaustive over time for its tiny programs but covers only
+//! the encoded shapes. See DESIGN.md's ledger entry for the full
+//! discussion.
+
+pub mod fuzzer;
+pub mod litmus;
+pub mod oracle;
+
+pub use fuzzer::{crash_plan, run_fuzz_job, FuzzJob, FuzzJobResult};
+pub use litmus::{litmus_suite, run_litmus, LitmusMismatch, LitmusReport, LitmusTest, OutcomeSpec};
+pub use oracle::{check_crash_point, CrashPointCtx, Violation};

@@ -1,0 +1,477 @@
+//! Persistency litmus programs with per-design allowed-outcome sets.
+//!
+//! Each [`LitmusTest`] is a tiny abstract program plus a list of observed
+//! PM words and, per design, the set of *allowed* persisted outcomes
+//! (values of the observed words) at **any** crash instant — in the style
+//! of Khyzha & Lahav's persistency litmus characterization. The engine
+//! lowers the program for a design, sweeps crash cycles over the whole
+//! run (exhaustively when the run is short, otherwise a boundary-focused
+//! grid), reads the raw persisted outcome at each — **without running
+//! recovery** — and flags any outcome outside the allowed set.
+//!
+//! Allowed sets are keyed on [`PersistencyClass`], with the one caveat
+//! that speculation changes what "strict" means for the *raw* image:
+//! PMEM-Spec guarantees per-core-FIFO arrival but can transiently expose
+//! cross-core reorderings that misspeculation detection later repairs
+//! (§5). Cross-thread shapes therefore assert only the per-thread
+//! ordering every design must honor; single-thread shapes are where the
+//! classes genuinely differ and get tight per-class sets.
+
+use std::collections::BTreeSet;
+
+use pmem_spec::System;
+use pmemspec_engine::config::PmcNetworkOrder;
+use pmemspec_engine::{Cycle, SimConfig};
+use pmemspec_isa::{
+    lower_program, AbsProgram, AbsThread, Addr, DesignKind, LockId, PersistencyClass,
+};
+
+/// Exhaustive step-1 sweep limit; longer runs use a focused grid.
+const EXHAUSTIVE_MAX_CYCLES: u64 = 8_192;
+/// Uniform samples added when the run is too long for exhaustive sweep.
+const SPARSE_GRID: u64 = 1_024;
+
+/// The allowed persisted outcomes of one test on one design.
+#[derive(Debug, Clone)]
+pub struct OutcomeSpec {
+    /// Human-readable statement of the rule (shown on mismatch).
+    pub rule: &'static str,
+    /// Every outcome (one value per observed word) the design may
+    /// exhibit at *some* crash instant. Observing fewer is fine;
+    /// observing one outside this set is a mismatch.
+    pub allowed: Vec<Vec<u64>>,
+}
+
+/// One persistency litmus program.
+pub struct LitmusTest {
+    /// Stable name (shows up in reports).
+    pub name: &'static str,
+    /// Cores the program needs.
+    pub cores: usize,
+    /// PM controllers (line-interleaved) the config should have.
+    pub controllers: usize,
+    /// The abstract program (lowered per design by the runner).
+    pub program: AbsProgram,
+    /// The PM words whose persisted values form the outcome tuple.
+    pub observed: Vec<Addr>,
+    /// Outcomes acceptable once the run completes (a set because lock
+    /// acquisition order can make either thread the last writer).
+    pub finals: Vec<Vec<u64>>,
+    /// The allowed-outcome set for a given design.
+    pub spec: fn(DesignKind) -> OutcomeSpec,
+}
+
+/// One observed-but-forbidden outcome.
+#[derive(Debug, Clone)]
+pub struct LitmusMismatch {
+    /// Test name.
+    pub test: &'static str,
+    /// Design under test.
+    pub design: DesignKind,
+    /// First crash cycle exhibiting the outcome (`u64::MAX` = the
+    /// run-to-completion check).
+    pub crash_cycle: u64,
+    /// The forbidden outcome observed.
+    pub outcome: Vec<u64>,
+    /// The rule it violates.
+    pub rule: &'static str,
+}
+
+impl std::fmt::Display for LitmusMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} on {}: outcome {:?} at crash_cycle={} violates \"{}\"",
+            self.test,
+            self.design.label(),
+            self.outcome,
+            self.crash_cycle,
+            self.rule
+        )
+    }
+}
+
+/// What one (test × design) sweep observed.
+#[derive(Debug, Clone)]
+pub struct LitmusReport {
+    /// Test name.
+    pub test: &'static str,
+    /// Design under test.
+    pub design: DesignKind,
+    /// Crash points swept (completion point included).
+    pub points: usize,
+    /// Distinct outcomes observed across the sweep, sorted.
+    pub outcomes: Vec<Vec<u64>>,
+    /// Forbidden outcomes (each distinct outcome reported once, at its
+    /// first crash cycle).
+    pub mismatches: Vec<LitmusMismatch>,
+}
+
+/// Sweeps one test on one design.
+///
+/// # Panics
+///
+/// Panics if the lowered program fails to build (a suite bug).
+pub fn run_litmus(test: &LitmusTest, design: DesignKind) -> LitmusReport {
+    let program = lower_program(design, &test.program);
+    let mut cfg = SimConfig::asplos21(test.cores);
+    if test.controllers > 1 {
+        cfg = cfg.with_pm_controllers(test.controllers, PmcNetworkOrder::Fifo);
+    }
+    let (report, boundaries) = System::new(cfg.clone(), program.clone())
+        .expect("litmus program must build")
+        .run_boundaries();
+    let total = report.total_time.raw();
+
+    // The crash grid: exhaustive when cheap, else every boundary plus its
+    // near neighbourhood plus a uniform lattice.
+    let mut grid: BTreeSet<u64> = BTreeSet::new();
+    if total <= EXHAUSTIVE_MAX_CYCLES {
+        grid.extend(0..=total);
+    } else {
+        for b in &boundaries {
+            for delta in [0i64, -2, -1, 1, 2, -8, 8, -32, 32] {
+                let at = b.raw().saturating_add_signed(delta);
+                if at <= total {
+                    grid.insert(at);
+                }
+            }
+        }
+        let step = (total / SPARSE_GRID).max(1);
+        grid.extend((0..=total).step_by(step as usize));
+    }
+
+    let spec = (test.spec)(design);
+    let allowed: BTreeSet<&Vec<u64>> = spec.allowed.iter().collect();
+    let mut outcomes: BTreeSet<Vec<u64>> = BTreeSet::new();
+    let mut mismatched: BTreeSet<Vec<u64>> = BTreeSet::new();
+    let mut mismatches = Vec::new();
+    let mut points = 0usize;
+
+    for at in grid {
+        let outcome = System::new(cfg.clone(), program.clone())
+            .expect("litmus program must build")
+            .run_until(Cycle::from_raw(at));
+        points += 1;
+        let tuple: Vec<u64> = test
+            .observed
+            .iter()
+            .map(|a| outcome.persistent.get(a).copied().unwrap_or(0))
+            .collect();
+        if !allowed.contains(&tuple) && mismatched.insert(tuple.clone()) {
+            mismatches.push(LitmusMismatch {
+                test: test.name,
+                design,
+                crash_cycle: at,
+                outcome: tuple.clone(),
+                rule: spec.rule,
+            });
+        }
+        outcomes.insert(tuple);
+    }
+
+    // Completion: after the final durability barrier, the observed words
+    // must hold one of the expected final outcomes.
+    let outcome = System::new(cfg, program)
+        .expect("litmus program must build")
+        .run_until(Cycle::MAX);
+    points += 1;
+    let tuple: Vec<u64> = test
+        .observed
+        .iter()
+        .map(|a| outcome.persistent.get(a).copied().unwrap_or(0))
+        .collect();
+    if !test.finals.contains(&tuple) {
+        mismatches.push(LitmusMismatch {
+            test: test.name,
+            design,
+            crash_cycle: u64::MAX,
+            outcome: tuple.clone(),
+            rule: "run-to-completion leaves the final values durable",
+        });
+    }
+    outcomes.insert(tuple);
+
+    LitmusReport {
+        test: test.name,
+        design,
+        points,
+        outcomes: outcomes.into_iter().collect(),
+        mismatches,
+    }
+}
+
+// --- the suite -----------------------------------------------------------
+
+/// `A` and `B` on distinct cache lines, well away from anything else.
+fn spot(i: u64) -> Addr {
+    Addr::pm(4096 + i * 128)
+}
+
+fn one_thread(build: impl FnOnce(&mut AbsThread)) -> AbsProgram {
+    let mut p = AbsProgram::new();
+    let mut t = AbsThread::new();
+    build(&mut t);
+    p.add_thread(t);
+    p
+}
+
+fn all(outs: &[&[u64]]) -> Vec<Vec<u64>> {
+    outs.iter().map(|o| o.to_vec()).collect()
+}
+
+/// st A; st B (no ordering between them) — the shape that separates
+/// strict from epoch/strand persistency.
+fn store_store() -> LitmusTest {
+    let (a, b) = (spot(0), spot(1));
+    LitmusTest {
+        name: "store_store",
+        cores: 1,
+        controllers: 1,
+        program: one_thread(|t| {
+            t.begin_fase();
+            t.data_write(a, 1u64);
+            t.data_write(b, 1u64);
+            t.end_fase();
+        }),
+        observed: vec![a, b],
+        finals: all(&[&[1, 1]]),
+        spec: |design| match design.persistency_class() {
+            PersistencyClass::Strict => OutcomeSpec {
+                rule: "strict persistency: B=1 persisted implies A=1 persisted",
+                allowed: all(&[&[0, 0], &[1, 0], &[1, 1]]),
+            },
+            PersistencyClass::Epoch | PersistencyClass::Strand => OutcomeSpec {
+                rule: "same epoch/strand: A and B may persist in either order",
+                allowed: all(&[&[0, 0], &[1, 0], &[0, 1], &[1, 1]]),
+            },
+        },
+    }
+}
+
+/// log A; log-order; st B — the log-before-data invariant every design
+/// must honor (it is what recovery correctness rests on).
+fn flush_store() -> LitmusTest {
+    let (a, b) = (spot(2), spot(3));
+    LitmusTest {
+        name: "flush_store",
+        cores: 1,
+        controllers: 1,
+        program: one_thread(|t| {
+            t.begin_fase();
+            t.log_write(a, 1u64);
+            t.log_order();
+            t.data_write(b, 1u64);
+            t.end_fase();
+        }),
+        observed: vec![a, b],
+        finals: all(&[&[1, 1]]),
+        spec: |_| OutcomeSpec {
+            rule: "log-order: the data write never persists before the log write",
+            allowed: all(&[&[0, 0], &[1, 0], &[1, 1]]),
+        },
+    }
+}
+
+/// st A; st B; log-order; st C — epochs reorder within but not across
+/// the fence; strict designs keep the full program order.
+fn epoch() -> LitmusTest {
+    let (a, b, c) = (spot(4), spot(5), spot(6));
+    LitmusTest {
+        name: "epoch",
+        cores: 1,
+        controllers: 1,
+        program: one_thread(|t| {
+            t.begin_fase();
+            t.data_write(a, 1u64);
+            t.data_write(b, 1u64);
+            t.log_order();
+            t.data_write(c, 1u64);
+            t.end_fase();
+        }),
+        observed: vec![a, b, c],
+        finals: all(&[&[1, 1, 1]]),
+        spec: |design| match design.persistency_class() {
+            PersistencyClass::Strict => OutcomeSpec {
+                rule: "strict persistency: persists follow program order A, B, C",
+                allowed: all(&[&[0, 0, 0], &[1, 0, 0], &[1, 1, 0], &[1, 1, 1]]),
+            },
+            PersistencyClass::Epoch | PersistencyClass::Strand => OutcomeSpec {
+                rule: "epoch ordering: C persists only after both A and B",
+                allowed: all(&[&[0, 0, 0], &[1, 0, 0], &[0, 1, 0], &[1, 1, 0], &[1, 1, 1]]),
+            },
+        },
+    }
+}
+
+/// Two threads, one lock; each writes A then (after a log-order) B with
+/// its thread id + 1. Cross-core raw ordering is design-dependent (and
+/// PMEM-Spec may transiently reorder it, by design), but *every* design
+/// must honor each thread's own A-before-B ordering: B can never be
+/// nonzero while A still reads 0.
+fn lock_handoff() -> LitmusTest {
+    let (a, b) = (spot(7), spot(8));
+    let lock = LockId(0);
+    let mut p = AbsProgram::new();
+    for tid in 0..2u64 {
+        let mut t = AbsThread::new();
+        t.begin_fase();
+        t.acquire(lock);
+        t.data_write(a, tid + 1);
+        t.log_order();
+        t.data_write(b, tid + 1);
+        t.release(lock);
+        t.end_fase();
+        p.add_thread(t);
+    }
+    LitmusTest {
+        name: "lock_handoff",
+        cores: 2,
+        controllers: 1,
+        program: p,
+        observed: vec![a, b],
+        finals: all(&[&[1, 1], &[2, 2]]),
+        spec: |_| OutcomeSpec {
+            rule: "per-thread log-order under a lock: B nonzero implies A nonzero",
+            allowed: all(&[
+                &[0, 0],
+                &[1, 0],
+                &[2, 0],
+                &[1, 1],
+                &[2, 1],
+                &[1, 2],
+                &[2, 2],
+            ]),
+        },
+    }
+}
+
+/// FASE{A=1}; FASE{F=1} — F is a durability flag: once it persists, the
+/// first FASE's end-of-FASE barrier must have made A durable. This pins
+/// the durability barrier of each design (SFENCE / dfence / join-strand /
+/// spec-barrier).
+fn durability_flag() -> LitmusTest {
+    let (a, f) = (spot(9), spot(10));
+    LitmusTest {
+        name: "durability_flag",
+        cores: 1,
+        controllers: 1,
+        program: one_thread(|t| {
+            t.begin_fase();
+            t.data_write(a, 1u64);
+            t.end_fase();
+            t.begin_fase();
+            t.data_write(f, 1u64);
+            t.end_fase();
+        }),
+        observed: vec![a, f],
+        finals: all(&[&[1, 1]]),
+        spec: |_| OutcomeSpec {
+            rule: "durability: the flag never persists before the prior FASE's data",
+            allowed: all(&[&[0, 0], &[1, 0], &[1, 1]]),
+        },
+    }
+}
+
+/// Log on controller 0, data on controller 1, with extra traffic queued
+/// on controller 0 — §7's cross-controller hazard shape. With a FIFO
+/// controller network every design must still keep log before data.
+fn cross_controller() -> LitmusTest {
+    // Lines interleave across controllers by line index: spot(i) sits on
+    // line 64 + 2*i, always controller 0 of 2; offset by 64 bytes for an
+    // odd line (controller 1).
+    let log = spot(11); // even line -> controller 0
+    let data = spot(12).offset(64); // odd line -> controller 1
+    LitmusTest {
+        name: "cross_controller",
+        cores: 1,
+        controllers: 2,
+        program: one_thread(|t| {
+            t.begin_fase();
+            // Queue pressure on controller 0 so the log persist is slow.
+            for k in 0..6u64 {
+                t.data_write(spot(16 + k), 1u64);
+            }
+            t.log_write(log, 1u64);
+            t.log_order();
+            t.data_write(data, 1u64);
+            t.end_fase();
+        }),
+        observed: vec![log, data],
+        finals: all(&[&[1, 1]]),
+        spec: |_| OutcomeSpec {
+            rule: "cross-controller log-order: data (ctrl 1) never persists before \
+                   log (ctrl 0)",
+            allowed: all(&[&[0, 0], &[1, 0], &[1, 1]]),
+        },
+    }
+}
+
+/// The full litmus suite.
+pub fn litmus_suite() -> Vec<LitmusTest> {
+    vec![
+        store_store(),
+        flush_store(),
+        epoch(),
+        lock_handoff(),
+        durability_flag(),
+        cross_controller(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shapes_are_well_formed() {
+        for test in litmus_suite() {
+            assert_eq!(test.program.thread_count(), test.cores, "{}", test.name);
+            assert!(!test.observed.is_empty(), "{}", test.name);
+            assert!(!test.finals.is_empty(), "{}", test.name);
+            for design in DesignKind::ALL_EXTENDED {
+                let spec = (test.spec)(design);
+                assert!(!spec.allowed.is_empty(), "{} on {design}", test.name);
+                for f in &test.finals {
+                    assert!(
+                        spec.allowed.contains(f),
+                        "{} on {design}: final {f:?} must itself be allowed",
+                        test.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observed_lines_are_distinct() {
+        for test in litmus_suite() {
+            let lines: BTreeSet<_> = test.observed.iter().map(|a| a.line()).collect();
+            assert_eq!(
+                lines.len(),
+                test.observed.len(),
+                "{}: observed words must live on distinct cache lines",
+                test.name
+            );
+        }
+    }
+
+    #[test]
+    fn store_store_separates_strict_from_epoch() {
+        let t = store_store();
+        let strict = (t.spec)(DesignKind::Dpo);
+        let epoch = (t.spec)(DesignKind::IntelX86);
+        assert!(!strict.allowed.contains(&vec![0, 1]));
+        assert!(epoch.allowed.contains(&vec![0, 1]));
+    }
+
+    #[test]
+    fn single_point_sweep_runs() {
+        // A smoke check that the runner end-to-end produces a report.
+        let t = flush_store();
+        let r = run_litmus(&t, DesignKind::PmemSpec);
+        assert!(r.points > 1);
+        assert!(r.mismatches.is_empty(), "{:?}", r.mismatches);
+        assert!(r.outcomes.contains(&vec![1, 1]), "final state observed");
+    }
+}

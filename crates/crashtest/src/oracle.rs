@@ -1,0 +1,441 @@
+//! Recovery-correctness invariants checked at every sampled crash point.
+//!
+//! The oracle operates on a [`CrashOutcome`] (the word-granular persistent
+//! image the simulator says survived the failure, plus per-thread
+//! durable/started FASE counts) and the workload's recovery runtime. The
+//! invariants, in roughly increasing strength:
+//!
+//! 1. **Idempotence** — recovering the recovered image again must change
+//!    nothing. A recovery routine that is not idempotent cannot tolerate
+//!    a crash *during* recovery.
+//! 2. **Durable FASEs stay** — recovery may only roll back work that was
+//!    not durable: `rolled_back ≤ Σ started − Σ durable`. A durable FASE
+//!    has completed its end-of-FASE barrier, so its commit/truncation
+//!    record reached the ADR domain and recovery must leave it alone.
+//! 3. **All-or-nothing (ArraySwaps)** — after recovery, every 64-byte
+//!    array element holds eight words from exactly *one* source element,
+//!    and no source element appears twice in a segment. A torn element
+//!    (words from two sources) means a FASE was neither rolled back nor
+//!    completed — the log/data ordering was violated.
+//! 4. **Committed prefix at completion** — recovering the image of a run
+//!    that finished must find nothing to roll back and reproduce every
+//!    interleaving-independent expected final value.
+//!
+//! Every violation carries enough identity to re-run the exact point:
+//! benchmark, design, workload seed, thread/FASE counts, and crash cycle.
+
+use std::collections::HashMap;
+
+use pmem_spec::CrashOutcome;
+use pmemspec_engine::Cycle;
+use pmemspec_isa::{Addr, DesignKind};
+use pmemspec_workloads::array_swaps::{
+    data_base, element_addr, initial_value, ELEMENTS, ELEM_WORDS,
+};
+use pmemspec_workloads::{Benchmark, GeneratedWorkload, WorkloadParams};
+
+/// One oracle violation, with a minimized reproducer.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant failed (stable identifier, e.g. `"idempotence"`).
+    pub invariant: &'static str,
+    /// Human-readable description of what was observed.
+    pub detail: String,
+    /// The workload at fault.
+    pub benchmark: Benchmark,
+    /// The design at fault.
+    pub design: DesignKind,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Threads in the run.
+    pub threads: usize,
+    /// FASEs per thread.
+    pub fases: usize,
+    /// The crash cycle (`u64::MAX` = the run-to-completion point).
+    pub crash_cycle: u64,
+}
+
+impl Violation {
+    /// A one-line reproducer: everything needed to re-run this point.
+    pub fn reproducer(&self) -> String {
+        format!(
+            "benchmark={} design={} seed={} threads={} fases={} crash_cycle={}",
+            self.benchmark.label(),
+            self.design.label(),
+            self.seed,
+            self.threads,
+            self.fases,
+            self.crash_cycle,
+        )
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} :: {}",
+            self.invariant,
+            self.reproducer(),
+            self.detail
+        )
+    }
+}
+
+/// Everything the oracle needs to judge one crash point.
+pub struct CrashPointCtx<'a> {
+    /// The generated workload (program + recovery runtime + expectations).
+    pub workload: &'a GeneratedWorkload,
+    /// What survived the simulated power failure.
+    pub outcome: &'a CrashOutcome,
+    /// Identity for reproducers.
+    pub benchmark: Benchmark,
+    /// Identity for reproducers.
+    pub design: DesignKind,
+    /// Identity for reproducers.
+    pub params: WorkloadParams,
+    /// The crash cycle ([`Cycle::MAX`] = run ran to completion).
+    pub crash_at: Cycle,
+}
+
+impl CrashPointCtx<'_> {
+    fn violation(&self, invariant: &'static str, detail: String) -> Violation {
+        Violation {
+            invariant,
+            detail,
+            benchmark: self.benchmark,
+            design: self.design,
+            seed: self.params.seed,
+            threads: self.params.threads,
+            fases: self.params.fases_per_thread,
+            crash_cycle: self.crash_at.raw(),
+        }
+    }
+
+    fn is_final_point(&self) -> bool {
+        self.crash_at == Cycle::MAX
+    }
+}
+
+/// Runs the full oracle on one crash point: recovers the persisted image
+/// in place and checks every applicable invariant. Returns the recovered
+/// image (for cross-point monotonicity checks by the caller) and any
+/// violations found.
+pub fn check_crash_point(ctx: &CrashPointCtx<'_>) -> (HashMap<Addr, u64>, Vec<Violation>) {
+    let mut violations = Vec::new();
+    let mut snapshot = ctx.outcome.persistent.clone();
+
+    // Sanity on the raw outcome itself: a FASE cannot be durable before it
+    // started.
+    for (tid, (&d, &s)) in ctx
+        .outcome
+        .durable_fases
+        .iter()
+        .zip(&ctx.outcome.started_fases)
+        .enumerate()
+    {
+        if d > s {
+            violations.push(ctx.violation(
+                "durable-before-start",
+                format!("thread {tid}: {d} durable FASEs but only {s} started"),
+            ));
+        }
+    }
+
+    let first = ctx.workload.recover(&mut snapshot);
+
+    // Invariant 1: idempotence. Recovery of the recovered image must be a
+    // fixed point (redo replays committed values, which is fine — the
+    // *image* must not change).
+    let mut second_pass = snapshot.clone();
+    let second = ctx.workload.recover(&mut second_pass);
+    if second_pass != snapshot {
+        let mut diff: Vec<String> = snapshot
+            .iter()
+            .filter(|(a, v)| second_pass.get(a) != Some(v))
+            .map(|(a, v)| format!("{a}: {v} -> {:?}", second_pass.get(a)))
+            .chain(
+                second_pass
+                    .keys()
+                    .filter(|a| !snapshot.contains_key(a))
+                    .map(|a| format!("{a}: absent -> {:?}", second_pass.get(a))),
+            )
+            .collect();
+        diff.truncate(4);
+        violations.push(ctx.violation(
+            "idempotence",
+            format!(
+                "second recovery pass changed the image ({} words differ: {})",
+                diff.len(),
+                diff.join(", ")
+            ),
+        ));
+    }
+    if second.torn_entries > first.torn_entries {
+        violations.push(ctx.violation(
+            "idempotence",
+            format!(
+                "second recovery pass saw more torn entries ({} vs {})",
+                second.torn_entries, first.torn_entries
+            ),
+        ));
+    }
+
+    // Invariant 2: durable FASEs survive recovery. Every rolled-back /
+    // discarded generation must correspond to a FASE that started but was
+    // not durable (started over-counts re-executions after aborts, so the
+    // bound is safe for PMEM-Spec's misspeculation path too).
+    let started: u64 = ctx.outcome.started_fases.iter().sum();
+    let durable: u64 = ctx.outcome.durable_fases.iter().sum();
+    if (first.rolled_back as u64) > started.saturating_sub(durable) {
+        violations.push(ctx.violation(
+            "durable-rolled-back",
+            format!(
+                "recovery rolled back {} generations but only {} FASEs were in flight \
+                 ({started} started, {durable} durable) — a durable FASE was undone",
+                first.rolled_back,
+                started - durable,
+            ),
+        ));
+    }
+
+    // Invariant 3: value-exact all-or-nothing for ArraySwaps.
+    if ctx.benchmark == Benchmark::ArraySwaps {
+        violations.extend(check_array_swaps_elements(ctx, &snapshot));
+    }
+
+    // Invariant 4: at the run-to-completion point, recovery finds a fully
+    // committed history and the expected final values.
+    if ctx.is_final_point() {
+        if !first.is_clean() {
+            violations.push(ctx.violation(
+                "completed-run-dirty",
+                format!(
+                    "recovery of a completed run still rolled back {} generations \
+                     ({} torn entries)",
+                    first.rolled_back, first.torn_entries
+                ),
+            ));
+        }
+        let mut wrong = 0usize;
+        let mut example = String::new();
+        for (&addr, &want) in &ctx.workload.expected_final {
+            let got = snapshot.get(&addr).copied().unwrap_or(0);
+            if got != want {
+                wrong += 1;
+                if example.is_empty() {
+                    example = format!("{addr}: got {got}, want {want}");
+                }
+            }
+        }
+        if wrong > 0 {
+            violations.push(ctx.violation(
+                "final-values",
+                format!(
+                    "{wrong}/{} expected final words wrong after recovery (e.g. {example})",
+                    ctx.workload.expected_final.len()
+                ),
+            ));
+        }
+    }
+
+    (snapshot, violations)
+}
+
+/// ArraySwaps all-or-nothing check: every element is either untouched
+/// (all-zero — the populate FASE never committed) or holds all eight
+/// words of exactly one source element from the same thread segment, and
+/// no source element appears twice within a segment.
+fn check_array_swaps_elements(
+    ctx: &CrashPointCtx<'_>,
+    snapshot: &HashMap<Addr, u64>,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let base = data_base(&ctx.params);
+    for tid in 0..ctx.params.threads as u64 {
+        let mut seen_sources: HashMap<u64, u64> = HashMap::new(); // src_elem -> elem
+        for elem in 0..ELEMENTS {
+            let words: Vec<u64> = (0..ELEM_WORDS)
+                .map(|w| {
+                    snapshot
+                        .get(&element_addr(base, tid, elem).offset(w * 8))
+                        .copied()
+                        .unwrap_or(0)
+                })
+                .collect();
+            if words.iter().all(|&w| w == 0) {
+                continue; // never populated (or populate rolled back)
+            }
+            // Word 0 names the source element: (tid << 32) | (src << 8) | 1.
+            let src_tid = words[0] >> 32;
+            let src_elem = (words[0] >> 8) & 0xFF_FFFF;
+            let consistent = src_tid == tid
+                && src_elem < ELEMENTS
+                && (0..ELEM_WORDS).all(|w| words[w as usize] == initial_value(tid, src_elem, w));
+            if !consistent {
+                violations.push(ctx.violation(
+                    "torn-element",
+                    format!(
+                        "thread {tid} element {elem} holds mixed/foreign data after \
+                         recovery: {words:x?}"
+                    ),
+                ));
+                continue;
+            }
+            if let Some(&prev) = seen_sources.get(&src_elem) {
+                violations.push(ctx.violation(
+                    "duplicated-element",
+                    format!(
+                        "thread {tid}: source element {src_elem} appears at both \
+                         elements {prev} and {elem} — a swap was half-applied"
+                    ),
+                ));
+            }
+            seen_sources.insert(src_elem, elem);
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_parts() -> (GeneratedWorkload, WorkloadParams) {
+        let params = WorkloadParams::small(1).with_fases(3);
+        (Benchmark::ArraySwaps.generate(&params), params)
+    }
+
+    fn outcome_with(persistent: HashMap<Addr, u64>) -> CrashOutcome {
+        CrashOutcome {
+            persistent,
+            durable_fases: vec![0],
+            started_fases: vec![0],
+        }
+    }
+
+    #[test]
+    fn empty_image_is_unviolated() {
+        let (w, params) = ctx_parts();
+        let outcome = outcome_with(HashMap::new());
+        let ctx = CrashPointCtx {
+            workload: &w,
+            outcome: &outcome,
+            benchmark: Benchmark::ArraySwaps,
+            design: DesignKind::PmemSpec,
+            params,
+            crash_at: Cycle::ZERO,
+        };
+        let (_, violations) = check_crash_point(&ctx);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn torn_element_is_caught() {
+        let (w, params) = ctx_parts();
+        let base = data_base(&params);
+        let mut persistent = HashMap::new();
+        // Element 0 with word 3 torn in from element 5.
+        for wd in 0..ELEM_WORDS {
+            let v = if wd == 3 {
+                initial_value(0, 5, wd)
+            } else {
+                initial_value(0, 0, wd)
+            };
+            persistent.insert(element_addr(base, 0, 0).offset(wd * 8), v);
+        }
+        let outcome = outcome_with(persistent);
+        let ctx = CrashPointCtx {
+            workload: &w,
+            outcome: &outcome,
+            benchmark: Benchmark::ArraySwaps,
+            design: DesignKind::PmemSpec,
+            params,
+            crash_at: Cycle::from_raw(1234),
+        };
+        let (_, violations) = check_crash_point(&ctx);
+        assert!(
+            violations.iter().any(|v| v.invariant == "torn-element"),
+            "{violations:?}"
+        );
+        let repro = violations[0].reproducer();
+        assert!(repro.contains("crash_cycle=1234"), "{repro}");
+        assert!(repro.contains("benchmark=ArraySwaps"), "{repro}");
+    }
+
+    #[test]
+    fn duplicated_source_is_caught() {
+        let (w, params) = ctx_parts();
+        let base = data_base(&params);
+        let mut persistent = HashMap::new();
+        for elem in [0u64, 1] {
+            for wd in 0..ELEM_WORDS {
+                // Both elements claim source 7: a half-applied swap.
+                persistent.insert(
+                    element_addr(base, 0, elem).offset(wd * 8),
+                    initial_value(0, 7, wd),
+                );
+            }
+        }
+        let outcome = outcome_with(persistent);
+        let ctx = CrashPointCtx {
+            workload: &w,
+            outcome: &outcome,
+            benchmark: Benchmark::ArraySwaps,
+            design: DesignKind::IntelX86,
+            params,
+            crash_at: Cycle::ZERO,
+        };
+        let (_, violations) = check_crash_point(&ctx);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "duplicated-element"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn durable_rollback_bound_is_enforced() {
+        // Hand-build an image where a *durable* FASE's log entries are
+        // present but its truncation stamp is missing: recovery will roll
+        // it back, and the durable count says it must not.
+        let (w, params) = ctx_parts();
+        let undo = w.undo.expect("array swaps is undo-logged");
+        let layout = *undo.layout();
+        let base = data_base(&params);
+        let target = element_addr(base, 0, 0);
+        let mut persistent = HashMap::new();
+        let entry = layout.entry_addr(0, 0, 0);
+        persistent.insert(entry, target.raw());
+        persistent.insert(entry.offset(8), 77);
+        persistent.insert(
+            entry.offset(16),
+            pmemspec_isa::ValueSrc::log_tag_value(
+                pmemspec_runtime::LogLayout::seq(0) << 8,
+                target,
+                77,
+            ),
+        );
+        let outcome = CrashOutcome {
+            persistent,
+            durable_fases: vec![1],
+            started_fases: vec![1],
+        };
+        let ctx = CrashPointCtx {
+            workload: &w,
+            outcome: &outcome,
+            benchmark: Benchmark::ArraySwaps,
+            design: DesignKind::Hops,
+            params,
+            crash_at: Cycle::ZERO,
+        };
+        let (_, violations) = check_crash_point(&ctx);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "durable-rolled-back"),
+            "{violations:?}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! The crash fuzzer, end-to-end, on a reduced grid — plus the promotion
+//! of the core crate's one-FASE `crash_sweep_is_monotone_in_time` toy
+//! into a seeded, SimRng-driven property over **all eight workloads**.
+
+use pmem_spec::System;
+use pmemspec_crashtest::{crash_plan, run_fuzz_job, FuzzJob};
+use pmemspec_engine::{SimConfig, SimRng};
+use pmemspec_isa::{lower_program, DesignKind};
+use pmemspec_workloads::{Benchmark, WorkloadParams};
+
+/// A small fuzz grid (2 designs × 8 workloads) must come back with zero
+/// oracle violations; the full default grid runs in the `crashfuzz`
+/// binary and CI smoke job.
+#[test]
+fn reduced_fuzz_grid_is_violation_free() {
+    let mut failures = Vec::new();
+    let mut points = 0usize;
+    for benchmark in Benchmark::ALL {
+        for design in [DesignKind::PmemSpec, DesignKind::IntelX86] {
+            let job = FuzzJob {
+                benchmark,
+                design,
+                params: WorkloadParams::small(2).with_fases(6),
+                crash_points: 6,
+                fuzz_seed: 0xC0FFEE ^ benchmark as u64,
+            };
+            let r = run_fuzz_job(&job);
+            points += r.points;
+            for v in &r.violations {
+                failures.push(v.to_string());
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "oracle violations:\n{}",
+        failures.join("\n")
+    );
+    assert!(
+        points >= 16 * 5,
+        "grid too small to mean anything: {points}"
+    );
+}
+
+/// Promoted property: for every workload (not just a toy one-FASE
+/// program), a seeded random sample of increasing crash cycles yields a
+/// monotone persistent footprint and monotone per-thread durable counts.
+/// The crash grid itself is SimRng-driven so each workload sweeps a
+/// different — but reproducible — set of cycles.
+#[test]
+fn crash_sweep_is_monotone_in_time_for_all_workloads() {
+    let params = WorkloadParams::small(2).with_fases(5);
+    for (i, benchmark) in Benchmark::ALL.into_iter().enumerate() {
+        let workload = benchmark.generate(&params);
+        let program = lower_program(DesignKind::PmemSpec, &workload.program);
+        let cfg = SimConfig::asplos21(params.threads);
+        let (report, boundaries) = System::new(cfg.clone(), program.clone())
+            .unwrap()
+            .run_boundaries();
+        assert!(
+            !boundaries.is_empty(),
+            "{benchmark}: a real workload must expose crash boundaries"
+        );
+        let mut rng = SimRng::seed_from_u64(0xA0 + i as u64);
+        let grid = crash_plan(&boundaries, report.total_time, 12, &mut rng);
+        let mut prev_words = 0usize;
+        let mut prev_durable = vec![0u64; params.threads];
+        for at in grid {
+            let outcome = System::new(cfg.clone(), program.clone())
+                .unwrap()
+                .run_until(at);
+            assert!(
+                outcome.persistent.len() >= prev_words,
+                "{benchmark}: persistent footprint shrank at {at}"
+            );
+            prev_words = outcome.persistent.len();
+            for (tid, (&d, prev)) in outcome
+                .durable_fases
+                .iter()
+                .zip(&mut prev_durable)
+                .enumerate()
+            {
+                assert!(
+                    d >= *prev,
+                    "{benchmark}: thread {tid} durable count fell at {at}"
+                );
+                *prev = d;
+            }
+        }
+    }
+}
+
+/// The boundary log is deterministic and the sampled plans reproducible:
+/// identical seeds give identical plans; different seeds differ (so the
+/// fuzzer genuinely explores).
+#[test]
+fn boundary_log_and_plans_are_reproducible() {
+    let params = WorkloadParams::small(2).with_fases(4);
+    let workload = Benchmark::Hashmap.generate(&params);
+    let program = lower_program(DesignKind::Hops, &workload.program);
+    let cfg = SimConfig::asplos21(2);
+    let (r1, b1) = System::new(cfg.clone(), program.clone())
+        .unwrap()
+        .run_boundaries();
+    let (r2, b2) = System::new(cfg, program).unwrap().run_boundaries();
+    assert_eq!(b1, b2, "boundary log must be deterministic");
+    assert_eq!(r1.total_time, r2.total_time);
+    assert!(b1.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+
+    let p1 = crash_plan(&b1, r1.total_time, 24, &mut SimRng::seed_from_u64(9));
+    let p2 = crash_plan(&b1, r1.total_time, 24, &mut SimRng::seed_from_u64(9));
+    let p3 = crash_plan(&b1, r1.total_time, 24, &mut SimRng::seed_from_u64(10));
+    assert_eq!(p1, p2);
+    assert_ne!(p1, p3, "different fuzz seeds must explore differently");
+}

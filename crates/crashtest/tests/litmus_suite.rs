@@ -1,0 +1,78 @@
+//! The full litmus suite must hold on every implemented design.
+//!
+//! Each (test × design) pair sweeps crash points over the program and
+//! asserts every raw persisted outcome is in the design's allowed set —
+//! zero expectation mismatches, per the paper's correctness claim and the
+//! Khyzha & Lahav-style outcome characterization the suite encodes.
+
+use pmemspec_crashtest::{litmus_suite, run_litmus};
+use pmemspec_isa::DesignKind;
+
+#[test]
+fn litmus_suite_has_zero_mismatches_on_all_designs() {
+    let mut total_points = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for test in litmus_suite() {
+        for design in DesignKind::ALL_EXTENDED {
+            let report = run_litmus(&test, design);
+            total_points += report.points;
+            for m in &report.mismatches {
+                failures.push(m.to_string());
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "litmus expectation mismatches:\n{}",
+        failures.join("\n")
+    );
+    assert!(
+        total_points > 1_000,
+        "suite should sweep a serious number of crash points, got {total_points}"
+    );
+}
+
+#[test]
+fn strict_designs_never_reorder_plain_stores() {
+    // The headline separation: DPO and PMEM-Spec (strict persistency,
+    // FIFO persist path) must never exhibit B-before-A; the sweep must
+    // also actually *reach* intermediate states, or the test is vacuous.
+    let suite = litmus_suite();
+    let test = suite
+        .iter()
+        .find(|t| t.name == "store_store")
+        .expect("store_store in suite");
+    for design in [DesignKind::Dpo, DesignKind::PmemSpec] {
+        let report = run_litmus(test, design);
+        assert!(report.mismatches.is_empty(), "{:?}", report.mismatches);
+        assert!(
+            report.outcomes.contains(&vec![0, 0]),
+            "{design}: sweep must observe the pre-persist state"
+        );
+        assert!(
+            report.outcomes.contains(&vec![1, 1]),
+            "{design}: sweep must observe the final state"
+        );
+        assert!(
+            !report.outcomes.contains(&vec![0, 1]),
+            "{design}: strict persistency forbids B before A"
+        );
+    }
+}
+
+#[test]
+fn durability_flag_holds_across_fase_boundaries() {
+    let suite = litmus_suite();
+    let test = suite
+        .iter()
+        .find(|t| t.name == "durability_flag")
+        .expect("durability_flag in suite");
+    for design in DesignKind::ALL_EXTENDED {
+        let report = run_litmus(test, design);
+        assert!(
+            report.mismatches.is_empty(),
+            "{design}: {:?}",
+            report.mismatches
+        );
+    }
+}

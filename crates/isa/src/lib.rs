@@ -31,6 +31,6 @@ pub mod program;
 
 pub use abs::{AbsOp, AbsProgram, AbsThread};
 pub use addr::{Addr, MemSpace, LINE_BYTES, PM_BASE, WORD_BYTES};
-pub use lower::{lower_program, DesignKind};
+pub use lower::{lower_program, DesignKind, PersistencyClass};
 pub use op::{log_mix, FaseId, LockId, Op, ThreadId, ValueSrc};
 pub use program::{Program, ThreadProgram};

@@ -95,6 +95,38 @@ impl std::fmt::Display for DesignKind {
     }
 }
 
+/// Which formal persistency model a design implements, in the sense of
+/// Khyzha & Lahav's *Taming x86-TSO Persistency* taxonomy. Litmus
+/// expectations are keyed on this: designs in one class share the same
+/// allowed/forbidden persisted-outcome sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PersistencyClass {
+    /// Persist order == (buffered) store order: DPO delegates ordering to
+    /// in-coherence-domain buffers, PMEM-Spec speculates over a FIFO
+    /// persist path — neither lets two same-thread PM stores persist out
+    /// of order.
+    Strict,
+    /// Persists reorder freely *within* an epoch and are ordered only
+    /// across fence-delimited epochs: stock x86 CLWB/SFENCE and HOPS
+    /// ofence/dfence.
+    Epoch,
+    /// Strand persistency: ordering holds within a strand (between
+    /// persist-barriers); distinct strands drain concurrently. Within one
+    /// strand, outcomes look epoch-like between barriers.
+    Strand,
+}
+
+impl DesignKind {
+    /// The persistency model this design presents to crash observers.
+    pub fn persistency_class(self) -> PersistencyClass {
+        match self {
+            DesignKind::Dpo | DesignKind::PmemSpec => PersistencyClass::Strict,
+            DesignKind::IntelX86 | DesignKind::Hops => PersistencyClass::Epoch,
+            DesignKind::StrandWeaver => PersistencyClass::Strand,
+        }
+    }
+}
+
 /// Lowers one thread's abstract ops for `design`.
 ///
 /// On IntelX86/DPO, consecutive PM stores to one cache line share a single

@@ -167,6 +167,36 @@ impl Op {
         }
     }
 
+    /// True for ops that constrain or force persist ordering: the fences
+    /// and barriers of every design plus StrandWeaver's `join-strand`
+    /// durability point. These are the instants where the set of reachable
+    /// persisted states changes shape, so crash-point samplers weight them
+    /// heavily.
+    pub fn is_ordering_point(&self) -> bool {
+        matches!(
+            self,
+            Op::Sfence
+                | Op::Ofence
+                | Op::Dfence
+                | Op::SpecBarrier
+                | Op::StrandBarrier
+                | Op::JoinStrand
+        )
+    }
+
+    /// True for ops whose execution instant is an interesting crash
+    /// boundary: every ordering point, plus cache-line write-backs,
+    /// checkpoints, and FASE begin/end markers. The crash-consistency
+    /// fuzzer samples crash cycles densely around these and sparsely
+    /// elsewhere.
+    pub fn is_crash_boundary(&self) -> bool {
+        self.is_ordering_point()
+            || matches!(
+                self,
+                Op::Clwb { .. } | Op::Checkpoint | Op::FaseBegin { .. } | Op::FaseEnd { .. }
+            )
+    }
+
     /// True for ops that only certain designs may execute (used by program
     /// validation to catch lowering mix-ups).
     pub fn is_design_specific(&self) -> bool {
@@ -230,6 +260,42 @@ mod tests {
         assert_eq!(Op::Clwb { addr: a }.addr(), Some(a));
         assert_eq!(Op::Sfence.addr(), None);
         assert_eq!(Op::Compute { cycles: 3 }.addr(), None);
+    }
+
+    #[test]
+    fn ordering_and_boundary_classification() {
+        for op in [
+            Op::Sfence,
+            Op::Ofence,
+            Op::Dfence,
+            Op::SpecBarrier,
+            Op::StrandBarrier,
+            Op::JoinStrand,
+        ] {
+            assert!(op.is_ordering_point(), "{op} should order persists");
+            assert!(op.is_crash_boundary(), "{op} should be a crash boundary");
+        }
+        // Boundaries that do not order persists.
+        for op in [
+            Op::Clwb { addr: Addr::pm(0) },
+            Op::Checkpoint,
+            Op::FaseBegin { fase: FaseId(0) },
+            Op::FaseEnd { fase: FaseId(0) },
+        ] {
+            assert!(!op.is_ordering_point(), "{op} should not order persists");
+            assert!(op.is_crash_boundary(), "{op} should be a crash boundary");
+        }
+        // Plain data ops are neither.
+        for op in [
+            Op::Load { addr: Addr::pm(0) },
+            Op::Compute { cycles: 1 },
+            Op::Lock { lock: LockId(0) },
+            Op::NewStrand,
+            Op::SpecAssign,
+        ] {
+            assert!(!op.is_ordering_point(), "{op}");
+            assert!(!op.is_crash_boundary(), "{op}");
+        }
     }
 
     #[test]

@@ -24,13 +24,44 @@ fn canonical_fase() -> AbsProgram {
     p
 }
 
-fn render(design: DesignKind) -> Vec<String> {
-    lower_program(design, &canonical_fase())
+/// The canonical FASE with a §6.3 recovery checkpoint between the data
+/// write and the commit record: on misspeculation, PMEM-Spec re-executes
+/// from the checkpoint instead of the FASE beginning.
+fn canonical_checkpointed_fase() -> AbsProgram {
+    let data = Addr::pm(4096);
+    let log = Addr::pm(0);
+    let mut t = AbsThread::new();
+    t.begin_fase();
+    t.acquire(LockId(0));
+    t.pm_read(data);
+    t.log_write(log, ValueSrc::OldOf(data));
+    t.log_order();
+    t.data_write(data, 42u64);
+    t.checkpoint();
+    t.data_order();
+    t.log_write(log.offset(8), 1u64);
+    t.release(LockId(0));
+    t.end_fase();
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    p
+}
+
+fn render_program(design: DesignKind, program: &AbsProgram) -> Vec<String> {
+    lower_program(design, program)
         .thread(0)
         .ops()
         .iter()
         .map(|op| op.to_string())
         .collect()
+}
+
+fn render(design: DesignKind) -> Vec<String> {
+    render_program(design, &canonical_fase())
+}
+
+fn render_checkpointed(design: DesignKind) -> Vec<String> {
+    render_program(design, &canonical_checkpointed_fase())
 }
 
 #[test]
@@ -120,6 +151,77 @@ fn golden_strand_weaver() {
             "fase-end fase0",
         ]
     );
+}
+
+#[test]
+fn golden_pmem_spec_checkpointed() {
+    // The checkpoint-instrumented variant: the checkpoint sits between
+    // the speculative data write and the commit record, so a virtual
+    // power failure re-executes only the tail of the FASE (§6.3). No
+    // ordering instruction is emitted for it — it is a cheap marker the
+    // misspeculation machinery interprets, not a persist stall.
+    assert_eq!(
+        render_checkpointed(DesignKind::PmemSpec),
+        vec![
+            "fase-begin fase0",
+            "lock lock0",
+            "spec-assign",
+            "ld pm:0x1000",
+            "st pm:0x0 <- OldOf(pm:0x1000)",
+            "st pm:0x1000 <- Imm(42)",
+            "checkpoint",
+            "st pm:0x8 <- Imm(1)",
+            "spec-revoke",
+            "unlock lock0",
+            "spec-barrier",
+            "fase-end fase0",
+        ]
+    );
+}
+
+#[test]
+fn golden_strand_weaver_checkpointed() {
+    // StrandWeaver keeps the checkpoint marker verbatim too (recovery is
+    // design-agnostic), sandwiched between its two persist barriers.
+    assert_eq!(
+        render_checkpointed(DesignKind::StrandWeaver),
+        vec![
+            "fase-begin fase0",
+            "new-strand",
+            "lock lock0",
+            "ld pm:0x1000",
+            "st pm:0x0 <- OldOf(pm:0x1000)",
+            "persist-barrier",
+            "st pm:0x1000 <- Imm(42)",
+            "checkpoint",
+            "persist-barrier",
+            "st pm:0x8 <- Imm(1)",
+            "unlock lock0",
+            "join-strand",
+            "fase-end fase0",
+        ]
+    );
+}
+
+#[test]
+fn checkpoint_adds_no_ordering_cost() {
+    // A checkpoint must never introduce flushes, fences, or barriers in
+    // any design: the lowered stream is the plain stream plus exactly one
+    // `checkpoint` marker.
+    for design in DesignKind::ALL_EXTENDED {
+        let plain = render(design);
+        let instrumented = render_checkpointed(design);
+        assert_eq!(
+            instrumented.len(),
+            plain.len() + 1,
+            "{design}: checkpoint must add exactly one instruction"
+        );
+        let stripped: Vec<String> = instrumented
+            .into_iter()
+            .filter(|s| s != "checkpoint")
+            .collect();
+        assert_eq!(stripped, plain, "{design}: checkpoint perturbed lowering");
+    }
 }
 
 #[test]

@@ -24,3 +24,61 @@ pub mod undo;
 pub use layout::LogLayout;
 pub use redo::RedoLog;
 pub use undo::{RecoveryOutcome, UndoLog};
+
+use pmemspec_isa::Addr;
+use std::collections::HashMap;
+
+/// The runtime-agnostic face of crash recovery: what the crash-consistency
+/// fuzzer calls without caring whether a workload is undo-logged
+/// (microbenchmarks, TATP, TPCC) or Mnemosyne-style redo-logged (Vacation,
+/// Memcached).
+pub trait Recovery {
+    /// The log layout the runtime wrote against.
+    fn layout(&self) -> &LogLayout;
+
+    /// Repairs a raw persistent snapshot in place (roll back uncommitted
+    /// FASEs for undo; replay committed ones for redo) and reports what
+    /// was found. Must be idempotent: a second call on the repaired
+    /// snapshot is a no-op with `rolled_back == 0`.
+    fn recover(&self, snapshot: &mut HashMap<Addr, u64>) -> RecoveryOutcome;
+
+    /// `"undo"` or `"redo"` — for reports.
+    fn kind(&self) -> &'static str;
+}
+
+impl Recovery for UndoLog {
+    fn layout(&self) -> &LogLayout {
+        UndoLog::layout(self)
+    }
+    fn recover(&self, snapshot: &mut HashMap<Addr, u64>) -> RecoveryOutcome {
+        UndoLog::recover(self, snapshot)
+    }
+    fn kind(&self) -> &'static str {
+        "undo"
+    }
+}
+
+impl Recovery for RedoLog {
+    fn layout(&self) -> &LogLayout {
+        RedoLog::layout(self)
+    }
+    fn recover(&self, snapshot: &mut HashMap<Addr, u64>) -> RecoveryOutcome {
+        RedoLog::recover(self, snapshot)
+    }
+    fn kind(&self) -> &'static str {
+        "redo"
+    }
+}
+
+impl RecoveryOutcome {
+    /// True when recovery found no incomplete FASE and no torn log entry —
+    /// the expected outcome when recovering the image of a run that
+    /// finished cleanly. Note `restored_words` is deliberately *not*
+    /// consulted: redo recovery harmlessly replays committed values on
+    /// every pass, so replay counts stay nonzero even on an
+    /// already-recovered image. True idempotence is asserted on snapshot
+    /// equality, not on these counters.
+    pub fn is_clean(&self) -> bool {
+        self.rolled_back == 0 && self.torn_entries == 0
+    }
+}

@@ -34,7 +34,7 @@ pub mod vacation;
 use std::collections::HashMap;
 
 use pmemspec_isa::{AbsProgram, Addr};
-use pmemspec_runtime::{RedoLog, UndoLog};
+use pmemspec_runtime::{Recovery, RecoveryOutcome, RedoLog, UndoLog};
 
 /// Shared generation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +83,32 @@ pub struct GeneratedWorkload {
     /// Expected final coherent values for words whose outcome is
     /// interleaving-independent (empty for fully contended structures).
     pub expected_final: HashMap<Addr, u64>,
+}
+
+impl GeneratedWorkload {
+    /// The workload's recovery runtime, type-erased: undo for the
+    /// lock-based benchmarks, redo for the Mnemosyne ones. Exactly one is
+    /// always present (every generator sets undo xor redo).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator set neither runtime (a generator bug).
+    pub fn runtime(&self) -> &dyn Recovery {
+        if let Some(u) = &self.undo {
+            u
+        } else if let Some(r) = &self.redo {
+            r
+        } else {
+            panic!("workload has neither undo nor redo runtime")
+        }
+    }
+
+    /// Recovers a crash snapshot in place with whichever runtime this
+    /// workload uses — the single entry point the crash-consistency
+    /// fuzzer calls for every (workload × design) point.
+    pub fn recover(&self, snapshot: &mut HashMap<Addr, u64>) -> RecoveryOutcome {
+        self.runtime().recover(snapshot)
+    }
 }
 
 /// The eight benchmarks of Table 4.

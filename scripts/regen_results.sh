@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 mkdir -p results
 for bin in table3 fig9 fig11 fig12 misspec ablation_detect ablation_checkpoint \
-           extended multi_pmc characterize; do
+           extended multi_pmc characterize crashfuzz; do
     echo "== $bin"
     ./target/release/$bin --json "$@" > "results/$bin.md"
 done
