@@ -12,6 +12,7 @@
 //! | `fig12` | Figure 12 (persist-path latency sensitivity) |
 //! | `misspec` | §8.4 (misspeculation rates + synthetic inducer sweep) |
 //! | `ablation_detect` | Figure 4/6 (fetch- vs eviction-based detection) |
+//! | `explain` | cycle-accounting breakdown per design (+ Perfetto traces) |
 //! | `smoke` | CI gate: reduced grid vs `results/smoke_reference.json` |
 //! | `crashfuzz` | crash-consistency fuzzer + persistency litmus suite |
 //!

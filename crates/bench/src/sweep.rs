@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use pmem_spec::{run_program, RunReport};
+use pmem_spec::{run_program, ProfileReport, RunReport, System};
 use pmemspec_engine::SimConfig;
 use pmemspec_isa::abs::AbsProgram;
 use pmemspec_isa::{lower_program, DesignKind, Program};
@@ -310,6 +310,23 @@ pub fn run_point(
         )
     });
     (report, note)
+}
+
+/// Like [`run_point`], but with cycle accounting and occupancy
+/// sampling enabled, returning the profile alongside the report.
+/// Profiling observes only, so the report matches [`run_point`]'s
+/// byte-for-byte.
+pub fn run_point_profiled(
+    benchmark: Benchmark,
+    design: DesignKind,
+    cfg: &SimConfig,
+    fases: usize,
+    seed: u64,
+) -> (RunReport, ProfileReport) {
+    let program = lowered_program(benchmark, design, cfg.cores, fases, seed);
+    System::new(cfg.clone(), program)
+        .expect("valid experiment")
+        .run_profiled()
 }
 
 // ---------------------------------------------------------------------

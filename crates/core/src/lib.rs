@@ -22,6 +22,8 @@
 //!   (lazy/eager, with §6.3 checkpoint scoping), power-failure simulation
 //!   (`run_until`), and the §7 multi-controller extension;
 //! * [`trace`] — Chrome/Perfetto trace export of simulated timelines;
+//! * [`profile`] — cycle accounting (every core cycle attributed to one
+//!   cause bucket) and queue-occupancy time series;
 //! * [`report`] — per-run measurements (plus JSON export).
 //!
 //! # Quickstart
@@ -51,12 +53,14 @@
 
 pub mod bloom;
 pub mod persist_buffer;
+pub mod profile;
 pub mod report;
 pub mod spec_buffer;
 pub mod strand_buffer;
 pub mod system;
 pub mod trace;
 
+pub use profile::{Bucket, CoreBreakdown, ProfileReport};
 pub use report::RunReport;
 pub use spec_buffer::{Detection, DetectionMode, SpecBuffer};
 pub use system::{run_program, BuildSystemError, CrashOutcome, RecoveryPolicy, System};

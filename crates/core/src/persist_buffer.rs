@@ -161,6 +161,17 @@ impl EpochPersistBuffer {
         self.closed_epochs_durable.max(self.epoch_durable).max(now)
     }
 
+    /// Entries still occupying the buffer at `now` (inserted, not yet
+    /// durable). Non-mutating, for occupancy samplers.
+    pub fn occupancy_at(&self, now: Cycle) -> usize {
+        self.pending.iter().filter(|&&a| a > now).count()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Entries inserted over the buffer's lifetime.
     pub fn inserted(&self) -> u64 {
         self.inserted

@@ -313,6 +313,18 @@ impl SpecBuffer {
         self.entries.len()
     }
 
+    /// Occupancy at `now` without expiring anything: entries whose window
+    /// is still open. Occupancy samplers use this instead of
+    /// [`SpecBuffer::occupancy`] so observing the buffer cannot perturb
+    /// its expiration counters.
+    pub fn occupancy_at(&self, now: Cycle) -> usize {
+        let window = self.window;
+        self.entries
+            .iter()
+            .filter(|e| e.inserted + window > now)
+            .count()
+    }
+
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity

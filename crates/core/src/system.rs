@@ -50,10 +50,23 @@ use pmemspec_mem::{Dram, MemoryImage, PersistPath, PmController};
 
 use crate::bloom::CountingBloom;
 use crate::persist_buffer::EpochPersistBuffer;
+use crate::profile::{Bucket, ProfileReport, Profiler};
 use crate::report::RunReport;
 use crate::spec_buffer::{Detection, DetectionMode, SpecBuffer};
 use crate::strand_buffer::StrandBuffer;
 use crate::trace::TraceRecorder;
+
+/// Charges core `idx` up to `until` in `bucket` when profiling is on.
+///
+/// A free function over the profiler field (not a `System` method) so
+/// call sites inside `match &mut self.machinery` arms borrow only this
+/// one field.
+#[inline]
+fn prof(profiler: &mut Option<Profiler>, idx: usize, bucket: Bucket, until: Cycle) {
+    if let Some(p) = profiler {
+        p.to(idx, bucket, until);
+    }
+}
 
 /// DRAM offset where lock cache lines are allocated.
 const LOCK_REGION_BASE: u64 = 1 << 30;
@@ -145,16 +158,36 @@ enum CoreStatus {
     Done,
 }
 
+/// What occupies a store-queue slot (profiler tag; timing never reads
+/// it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SqKind {
+    Store,
+    Clwb,
+}
+
+/// The profiler bucket a load wait is charged to, by serving level.
+fn served_bucket(served: ServedFrom) -> Bucket {
+    match served {
+        ServedFrom::L1 => Bucket::L1Hit,
+        ServedFrom::PeerL1 | ServedFrom::Llc | ServedFrom::Dram => Bucket::CacheMiss,
+        ServedFrom::Pm => Bucket::PmRead,
+    }
+}
+
 #[derive(Debug)]
 struct CoreState {
     pc: usize,
     time: Cycle,
     status: CoreStatus,
     /// Completion times of outstanding store-queue entries (stores and,
-    /// on IntelX86, CLWBs), FIFO.
-    sq: VecDeque<Cycle>,
-    /// Completion times of in-flight loads (MSHRs), FIFO.
-    loads: VecDeque<Cycle>,
+    /// on IntelX86, CLWBs), FIFO, each tagged with what occupies the
+    /// slot. Timing reads only the completion time; the tag exists so
+    /// the profiler can name what a drain waited on.
+    sq: VecDeque<(Cycle, SqKind)>,
+    /// Completion times of in-flight loads (MSHRs), FIFO, each tagged
+    /// with the level that served it (profiler-only, like `sq`).
+    loads: VecDeque<(Cycle, Bucket)>,
     in_fase: bool,
     fase_start_pc: usize,
     fase_start_time: Cycle,
@@ -346,6 +379,9 @@ pub struct System {
     dropped_pending: std::collections::HashSet<LineAddr>,
     /// Optional execution trace (Chrome trace export).
     tracer: Option<TraceRecorder>,
+    /// Optional cycle accounting + occupancy sampling. Observes only:
+    /// no timestamp ever flows from here back into the simulation.
+    profiler: Option<Profiler>,
     /// Optional log of crash-interesting cycles (persist arrivals plus
     /// fence/CLWB/checkpoint/FASE-marker execution instants), recorded by
     /// [`System::run_boundaries`] for crash-point samplers.
@@ -494,6 +530,7 @@ impl System {
             pending_line_persists: HashMap::new(),
             dropped_pending: std::collections::HashSet::new(),
             tracer: None,
+            profiler: None,
             boundary_log: None,
             cfg,
             program,
@@ -796,14 +833,16 @@ impl System {
     fn sq_admit(&mut self, idx: usize, now: Cycle) -> Cycle {
         let cap = self.cfg.store_queue;
         let core = &mut self.cores[idx];
-        while core.sq.front().is_some_and(|&d| d <= now) {
+        while core.sq.front().is_some_and(|&(d, _)| d <= now) {
             core.sq.pop_front();
         }
         if core.sq.len() >= cap {
             self.stats.incr("core.sq_full_stalls");
             let core = &mut self.cores[idx];
-            let oldest = core.sq.pop_front().expect("full queue non-empty");
-            oldest.max(now)
+            let (oldest, _) = core.sq.pop_front().expect("full queue non-empty");
+            let admitted = oldest.max(now);
+            prof(&mut self.profiler, idx, Bucket::SqFull, admitted);
+            admitted
         } else {
             now
         }
@@ -813,24 +852,35 @@ impl System {
     /// are busy. Returns the issue time.
     fn load_admit(&mut self, idx: usize, now: Cycle) -> Cycle {
         let core = &mut self.cores[idx];
-        while core.loads.front().is_some_and(|&d| d <= now) {
+        while core.loads.front().is_some_and(|&(d, _)| d <= now) {
             core.loads.pop_front();
         }
         if core.loads.len() >= MAX_OUTSTANDING_LOADS {
             self.stats.incr("core.mshr_full_stalls");
-            let oldest = self.cores[idx].loads.pop_front().expect("full queue");
-            oldest.max(now)
+            let (oldest, bucket) = self.cores[idx].loads.pop_front().expect("full queue");
+            let issue = oldest.max(now);
+            // The stall waits out the oldest in-flight load: charge the
+            // level that is serving it.
+            prof(&mut self.profiler, idx, bucket, issue);
+            issue
         } else {
             now
         }
     }
 
     /// Joins all outstanding loads: the core cannot pass `now` until every
-    /// in-flight load has returned.
+    /// in-flight load has returned. The wait is charged to the level
+    /// serving the slowest load.
     fn join_loads(&mut self, idx: usize, now: Cycle) -> Cycle {
         let core = &mut self.cores[idx];
-        let done = core.loads.iter().copied().max().unwrap_or(now).max(now);
+        let slowest = core.loads.iter().max_by_key(|&&(d, _)| d).copied();
         core.loads.clear();
+        let done = slowest.map_or(now, |(d, _)| d).max(now);
+        if let Some((d, bucket)) = slowest {
+            if d > now {
+                prof(&mut self.profiler, idx, bucket, d);
+            }
+        }
         done
     }
 
@@ -929,6 +979,10 @@ impl System {
                 self.stats.incr("fase.quiesced_retries");
             }
         }
+        // Everything the abort consumed — trap, undo-log restoration
+        // writes, post-abort quiesce — is recovery overhead.
+        let recovered = self.cores[idx].time;
+        prof(&mut self.profiler, idx, Bucket::MisspecRecovery, recovered);
     }
 
     fn release_lock(&mut self, lock_id: LockId, idx: usize, at: Cycle) {
@@ -940,14 +994,19 @@ impl System {
         if let Some(next) = lock.waiters.pop_front() {
             lock.holder = Some(next);
             lock.granted = true;
+            lock.free_at = lock.free_at.max(at);
             let waiter = &mut self.cores[next];
             waiter.status = CoreStatus::Runnable;
             waiter.time = waiter.time.max(at);
+            let granted_at = waiter.time;
+            // The waiter was parked since its Lock instruction: that
+            // whole window is time blocked on the lock.
+            prof(&mut self.profiler, next, Bucket::LockWait, granted_at);
         } else {
             lock.holder = None;
             lock.granted = false;
+            lock.free_at = lock.free_at.max(at);
         }
-        lock.free_at = lock.free_at.max(at);
     }
 
     /// Executes the instruction at `idx`'s program counter.
@@ -963,7 +1022,9 @@ impl System {
             Op::Compute { cycles } => {
                 // Compute consumes loaded values: join in-flight loads.
                 let start = self.join_loads(idx, t);
-                self.cores[idx].time = start + Duration::from_cycles(cycles as u64);
+                let done = start + Duration::from_cycles(cycles as u64);
+                prof(&mut self.profiler, idx, Bucket::Compute, done);
+                self.cores[idx].time = done;
                 self.cores[idx].pc += 1;
             }
             Op::Load { addr } => {
@@ -979,6 +1040,7 @@ impl System {
                 );
                 self.record_access(out.served_from);
                 self.handle_evictions(out.dirty_pm_evictions);
+                let load_bucket = served_bucket(out.served_from);
                 let mut completed = out.completed;
                 if let Some(fetch) = out.pm_fetch {
                     self.stats.incr("pmc.fetches");
@@ -1005,7 +1067,8 @@ impl System {
                         _ => {}
                     }
                 }
-                self.cores[idx].loads.push_back(completed);
+                self.cores[idx].loads.push_back((completed, load_bucket));
+                prof(&mut self.profiler, idx, Bucket::Issue, issue + one);
                 self.cores[idx].time = issue + one;
                 self.cores[idx].pc += 1;
             }
@@ -1040,7 +1103,7 @@ impl System {
                 // commit cannot precede the previous one's.
                 let commit = out.completed.max(self.cores[idx].last_store_commit);
                 self.cores[idx].last_store_commit = commit;
-                self.cores[idx].sq.push_back(commit);
+                self.cores[idx].sq.push_back((commit, SqKind::Store));
                 let mut next_time = retire + one;
                 if addr.is_pm() {
                     let spec_tag = self.cores[idx].spec_tag;
@@ -1163,6 +1226,18 @@ impl System {
                         }
                     }
                 }
+                prof(&mut self.profiler, idx, Bucket::Issue, retire + one);
+                if next_time > retire + one {
+                    // The only post-retire bumps are persist-machinery
+                    // back-pressure (DPO/HOPS/StrandWeaver full buffers)
+                    // and PMEM-Spec's pessimistic per-store durability
+                    // wait, which is an ordering stall.
+                    let bucket = match self.machinery {
+                        Machinery::PmemSpec { .. } => Bucket::FenceDrain,
+                        _ => Bucket::PersistBufferFull,
+                    };
+                    prof(&mut self.profiler, idx, bucket, next_time);
+                }
                 self.cores[idx].time = next_time;
                 self.cores[idx].pc += 1;
             }
@@ -1188,13 +1263,15 @@ impl System {
                                 + self.cfg.llc.hit_latency
                                 + self.cfg.l1.hit_latency;
                         }
-                        self.cores[idx].sq.push_back(completed);
+                        self.cores[idx].sq.push_back((completed, SqKind::Clwb));
+                        prof(&mut self.profiler, idx, Bucket::Issue, retire + one);
                         self.cores[idx].time = retire + one;
                     }
                     // DPO hardware absorbs the flush hint — the persist
                     // buffer already owns persistence (§3.2: DPO runs
                     // unmodified x86 binaries).
                     _ => {
+                        prof(&mut self.profiler, idx, Bucket::Issue, t + one);
                         self.cores[idx].time = t + one;
                     }
                 }
@@ -1204,8 +1281,21 @@ impl System {
                 match &mut self.machinery {
                     Machinery::IntelX86 => {
                         // Stall until all prior stores and CLWBs complete.
-                        let drained = self.cores[idx].sq.iter().copied().max().unwrap_or(t).max(t);
+                        let slowest = self.cores[idx].sq.iter().max_by_key(|&&(d, _)| d).copied();
                         self.cores[idx].sq.clear();
+                        let drained = slowest.map_or(t, |(d, _)| d).max(t);
+                        if let Some((d, kind)) = slowest {
+                            if d > t {
+                                // The fence waits out the slowest queue
+                                // entry: a CLWB round trip is flush time,
+                                // a plain store an ordering drain.
+                                let bucket = match kind {
+                                    SqKind::Clwb => Bucket::Flush,
+                                    SqKind::Store => Bucket::FenceDrain,
+                                };
+                                prof(&mut self.profiler, idx, bucket, d);
+                            }
+                        }
                         self.cores[idx].time = drained;
                         self.stats.incr("x86.sfences");
                     }
@@ -1221,6 +1311,7 @@ impl System {
                             drained += self.cfg.persist_path_latency;
                         }
                         buffers[idx].ofence();
+                        prof(&mut self.profiler, idx, Bucket::FenceDrain, drained);
                         self.cores[idx].time = drained;
                         self.stats.incr("dpo.barrier_drains");
                     }
@@ -1234,6 +1325,7 @@ impl System {
                 };
                 buffers[idx].ofence();
                 self.stats.incr("hops.ofences");
+                prof(&mut self.profiler, idx, Bucket::Issue, t + one);
                 self.cores[idx].time = t + one;
                 self.cores[idx].pc += 1;
             }
@@ -1247,7 +1339,12 @@ impl System {
                     drained += self.cfg.persist_path_latency;
                 }
                 let joined = self.join_loads(idx, t);
-                self.cores[idx].time = drained.max(joined);
+                let done = drained.max(joined);
+                // Piecewise by binding constraint: join_loads charged
+                // [t, joined] to the slowest load's level; the drain
+                // tail beyond that is fence time.
+                prof(&mut self.profiler, idx, Bucket::FenceDrain, done);
+                self.cores[idx].time = done;
                 self.stats.incr("hops.dfences");
                 self.cores[idx].pc += 1;
             }
@@ -1266,7 +1363,9 @@ impl System {
                     drained += self.cfg.persist_path_latency;
                 }
                 let joined = self.join_loads(idx, t);
-                self.cores[idx].time = drained.max(joined);
+                let done = drained.max(joined);
+                prof(&mut self.profiler, idx, Bucket::FenceDrain, done);
+                self.cores[idx].time = done;
                 self.stats.incr("spec.barriers");
                 self.cores[idx].pc += 1;
             }
@@ -1276,11 +1375,13 @@ impl System {
                 };
                 self.cores[idx].spec_tag = Some(*counter);
                 *counter += 1;
+                prof(&mut self.profiler, idx, Bucket::Issue, t + one);
                 self.cores[idx].time = t + one;
                 self.cores[idx].pc += 1;
             }
             Op::SpecRevoke => {
                 self.cores[idx].spec_tag = None;
+                prof(&mut self.profiler, idx, Bucket::Issue, t + one);
                 self.cores[idx].time = t + one;
                 self.cores[idx].pc += 1;
             }
@@ -1290,6 +1391,7 @@ impl System {
                 };
                 buffers[idx].new_strand();
                 self.stats.incr("strand.new");
+                prof(&mut self.profiler, idx, Bucket::Issue, t + one);
                 self.cores[idx].time = t + one;
                 self.cores[idx].pc += 1;
             }
@@ -1299,6 +1401,7 @@ impl System {
                 };
                 buffers[idx].strand_barrier();
                 self.stats.incr("strand.barriers");
+                prof(&mut self.profiler, idx, Bucket::Issue, t + one);
                 self.cores[idx].time = t + one;
                 self.cores[idx].pc += 1;
             }
@@ -1312,7 +1415,9 @@ impl System {
                     joined += self.cfg.persist_path_latency;
                 }
                 let loads = self.join_loads(idx, t);
-                self.cores[idx].time = joined.max(loads);
+                let done = joined.max(loads);
+                prof(&mut self.profiler, idx, Bucket::FenceDrain, done);
+                self.cores[idx].time = done;
                 self.stats.incr("strand.joins");
                 self.cores[idx].pc += 1;
             }
@@ -1335,7 +1440,19 @@ impl System {
                     // acquire cannot succeed before the previous release
                     // became visible.
                     let t_loads = self.join_loads(idx, t);
-                    let t_fenced = t_loads.max(self.cores[idx].last_store_commit).max(free_at);
+                    let store_drained = self.cores[idx].last_store_commit;
+                    let t_fenced = t_loads.max(store_drained).max(free_at);
+                    if t_fenced > t_loads {
+                        // Whichever constraint binds gets the charge: the
+                        // previous holder's release visibility is lock
+                        // time, the acquire's own store drain fence time.
+                        let bucket = if free_at >= store_drained {
+                            Bucket::LockWait
+                        } else {
+                            Bucket::FenceDrain
+                        };
+                        prof(&mut self.profiler, idx, bucket, t_fenced);
+                    }
                     let out = self.hierarchy.access(
                         idx,
                         AccessKind::Write,
@@ -1346,6 +1463,12 @@ impl System {
                     );
                     self.record_access(out.served_from);
                     self.handle_evictions(out.dirty_pm_evictions);
+                    prof(
+                        &mut self.profiler,
+                        idx,
+                        served_bucket(out.served_from),
+                        out.completed,
+                    );
                     let mut done = out.completed;
                     if let Machinery::Dpo { buffers, .. } = &self.machinery {
                         // DPO orders persists at every barrier the program
@@ -1358,6 +1481,7 @@ impl System {
                         done = done.max(drained);
                         self.stats.incr("dpo.barrier_drains");
                     }
+                    prof(&mut self.profiler, idx, Bucket::FenceDrain, done);
                     let lock_state = self.locks.get_mut(&lock).expect("just inserted");
                     lock_state.holder = Some(idx);
                     lock_state.granted = false;
@@ -1385,6 +1509,9 @@ impl System {
                     release_at = release_at.max(drained);
                     self.stats.incr("dpo.barrier_drains");
                 }
+                // Store-queue drain (TSO release order) and the DPO
+                // barrier drain are both ordering stalls.
+                prof(&mut self.profiler, idx, Bucket::FenceDrain, release_at);
                 let line = self.locks.get(&lock).expect("unlocking unknown lock").line;
                 let out = self.hierarchy.access(
                     idx,
@@ -1397,6 +1524,12 @@ impl System {
                 self.record_access(out.served_from);
                 self.handle_evictions(out.dirty_pm_evictions);
                 let done = out.completed;
+                prof(
+                    &mut self.profiler,
+                    idx,
+                    served_bucket(out.served_from),
+                    done,
+                );
                 let pos = self.cores[idx]
                     .held_locks
                     .iter()
@@ -1418,6 +1551,7 @@ impl System {
                 core.checkpoint = Some((core.pc, core.shadow.len(), core.held_locks.len()));
                 core.time = t + one;
                 core.pc += 1;
+                prof(&mut self.profiler, idx, Bucket::Checkpoint, t + one);
                 self.stats.incr("fase.checkpoints");
             }
             Op::FaseBegin { .. } => {
@@ -1522,10 +1656,14 @@ impl System {
         while let Some(idx) = self.next_core() {
             if self.cores[idx].time < self.stall_until {
                 // Speculation-buffer overflow pauses every core (§5.3).
+                prof(&mut self.profiler, idx, Bucket::SpecPause, self.stall_until);
                 self.cores[idx].time = self.stall_until;
             }
             let t = self.cores[idx].time;
             self.drain_events(t);
+            if self.profiler.is_some() {
+                self.sample_occupancy(t);
+            }
             if self.policy == RecoveryPolicy::Eager
                 && self.cores[idx].misspec_flag
                 && self.cores[idx].in_fase
@@ -1644,8 +1782,123 @@ impl System {
     /// Enables execution tracing; retrieve the recorder with
     /// [`System::run_traced`].
     pub fn with_trace(mut self) -> Self {
-        self.tracer = Some(TraceRecorder::new());
+        self.tracer = Some(TraceRecorder::new(self.cfg.cores));
         self
+    }
+
+    /// Enables cycle accounting and occupancy sampling; retrieve the
+    /// profile with [`System::run_profiled`]. Profiling observes only —
+    /// it cannot change any simulated timestamp, so the run's
+    /// [`RunReport`] is byte-identical with or without it.
+    pub fn with_profiling(mut self) -> Self {
+        let mut names = Vec::new();
+        for i in 0..self.cfg.cores {
+            names.push(format!("core{i}.sq"));
+            names.push(format!("core{i}.mshr"));
+            match self.machinery {
+                Machinery::IntelX86 => {}
+                Machinery::Dpo { .. } | Machinery::Hops { .. } => {
+                    names.push(format!("core{i}.pb"));
+                }
+                Machinery::PmemSpec { .. } => names.push(format!("core{i}.path")),
+                Machinery::StrandWeaver { .. } => names.push(format!("core{i}.strand")),
+            }
+        }
+        for j in 0..self.pmcs.len() {
+            names.push(format!("pmc{j}.rq"));
+            names.push(format!("pmc{j}.wq"));
+            if matches!(self.machinery, Machinery::PmemSpec { .. }) {
+                names.push(format!("pmc{j}.spec"));
+            }
+        }
+        self.profiler = Some(Profiler::new(self.cfg.cores, names));
+        self
+    }
+
+    /// Records any occupancy samples due by `now` (fixed cadence, with
+    /// catch-up over large time jumps).
+    fn sample_occupancy(&mut self, now: Cycle) {
+        let Some(mut p) = self.profiler.take() else {
+            return;
+        };
+        while let Some(at) = p.next_sample_due(now) {
+            let values = self.occupancy_snapshot(at);
+            p.record_samples(at, &values);
+        }
+        self.profiler = Some(p);
+    }
+
+    /// Queue depths at `at`, in [`System::with_profiling`]'s series
+    /// order. Read-only: every accessor used here is non-mutating.
+    fn occupancy_snapshot(&self, at: Cycle) -> Vec<u64> {
+        let mut values = Vec::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            values.push(core.sq.iter().filter(|&&(d, _)| d > at).count() as u64);
+            values.push(core.loads.iter().filter(|&&(d, _)| d > at).count() as u64);
+            match &self.machinery {
+                Machinery::IntelX86 => {}
+                Machinery::Dpo { buffers, .. } | Machinery::Hops { buffers, .. } => {
+                    values.push(buffers[i].occupancy_at(at) as u64);
+                }
+                Machinery::PmemSpec { paths, .. } => {
+                    values.push(paths[i].iter().map(|p| p.in_flight_at(at) as u64).sum());
+                }
+                Machinery::StrandWeaver { buffers } => {
+                    values.push(buffers[i].occupancy_at(at) as u64);
+                }
+            }
+        }
+        for (j, pmc) in self.pmcs.iter().enumerate() {
+            values.push(pmc.read_queue_depth(at) as u64);
+            values.push(pmc.write_queue_depth(at) as u64);
+            if let Machinery::PmemSpec { spec, .. } = &self.machinery {
+                values.push(spec[j].occupancy_at(at) as u64);
+            }
+        }
+        values
+    }
+
+    /// Runs to completion and returns the report together with the
+    /// cycle-accounting profile. Enables profiling if
+    /// [`System::with_profiling`] was not already called.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`System::run`].
+    pub fn run_profiled(self) -> (RunReport, ProfileReport) {
+        let (report, _, profile) = self.run_instrumented(false);
+        (report, profile)
+    }
+
+    /// Runs with both tracing and profiling enabled, returning the
+    /// instruction trace alongside the profile — merge the profile's
+    /// occupancy series into the trace with
+    /// [`ProfileReport::add_counter_tracks`] for a timeline with queue
+    /// depths under it.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`System::run`].
+    pub fn run_traced_profiled(self) -> (RunReport, TraceRecorder, ProfileReport) {
+        self.run_instrumented(true)
+    }
+
+    fn run_instrumented(mut self, trace: bool) -> (RunReport, TraceRecorder, ProfileReport) {
+        if self.profiler.is_none() {
+            self = self.with_profiling();
+        }
+        if trace && self.tracer.is_none() {
+            self.tracer = Some(TraceRecorder::new(self.cfg.cores));
+        }
+        self.run_loop();
+        let profiler = self.profiler.take().expect("profiling enabled above");
+        let tracer = self.tracer.take().unwrap_or_default();
+        let final_times: Vec<Cycle> = self.cores.iter().map(|c| c.time).collect();
+        let llc_dirty = self.hierarchy.llc_dirty_pm_lines();
+        let design = self.program.design();
+        let report = self.build_report();
+        let profile = profiler.finish(design, &final_times, report.total_time, llc_dirty);
+        (report, tracer, profile)
     }
 
     /// Runs to completion and returns the report together with the

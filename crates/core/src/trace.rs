@@ -1,9 +1,15 @@
-//! Execution tracing: record per-core instruction spans and PM-controller
-//! events, exportable as Chrome trace JSON (load `chrome://tracing` or
-//! [Perfetto](https://ui.perfetto.dev) and drop the file in).
+//! Execution tracing: record per-core instruction spans, PM-controller
+//! events, and occupancy counter tracks, exportable as Chrome trace JSON
+//! (load `chrome://tracing` or [Perfetto](https://ui.perfetto.dev) and
+//! drop the file in).
 //!
 //! Tracing is opt-in ([`crate::System::with_trace`]); a disabled recorder
 //! costs one branch per instruction.
+//!
+//! Lanes (`tid`s) are derived from the machine shape: cores occupy lanes
+//! `0..cores` and the PM controller the next lane, all named through
+//! `thread_name` metadata records — nothing is hardcoded, so no core
+//! count can collide with the controller lane.
 
 use std::fmt::Write as _;
 use std::io::{self, Write};
@@ -13,48 +19,74 @@ use pmemspec_engine::clock::Cycle;
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
-    /// Short label ("ld", "st", "spec-barrier", "WB", ...).
-    pub name: &'static str,
+    /// Short label ("ld", "st", "spec-barrier", "WB", "core0.sq", ...).
+    pub name: String,
     /// Simulated lane: core index, or `None` for the PM controller.
     pub core: Option<usize>,
     /// Span start.
     pub start: Cycle,
     /// Span end (== start for instantaneous events).
     pub end: Cycle,
+    /// Counter sample value; `Some` makes this a Perfetto counter event
+    /// (`"ph":"C"`) on its own named track instead of a span/instant.
+    pub value: Option<u64>,
 }
 
 /// An in-memory event recorder.
 #[derive(Debug, Clone, Default)]
 pub struct TraceRecorder {
+    /// Core count of the traced machine; the PM controller uses the next
+    /// lane ([`TraceRecorder::pmc_lane`]).
+    cores: usize,
     events: Vec<TraceEvent>,
 }
 
-/// Lane id used for PM-controller events in the exported trace.
-const PMC_LANE: usize = 1_000;
-
 impl TraceRecorder {
-    /// Creates an empty recorder.
-    pub fn new() -> Self {
-        TraceRecorder::default()
+    /// Creates an empty recorder for a machine with `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        TraceRecorder {
+            cores,
+            events: Vec::new(),
+        }
+    }
+
+    /// The lane (`tid`) PM-controller events export under: one past the
+    /// last core lane.
+    pub fn pmc_lane(&self) -> usize {
+        self.cores
     }
 
     /// Records a span on a core.
-    pub fn span(&mut self, core: usize, name: &'static str, start: Cycle, end: Cycle) {
+    pub fn span(&mut self, core: usize, name: impl Into<String>, start: Cycle, end: Cycle) {
         self.events.push(TraceEvent {
-            name,
+            name: name.into(),
             core: Some(core),
             start,
             end,
+            value: None,
         });
     }
 
     /// Records an instantaneous PM-controller event.
-    pub fn instant(&mut self, name: &'static str, at: Cycle) {
+    pub fn instant(&mut self, name: impl Into<String>, at: Cycle) {
         self.events.push(TraceEvent {
-            name,
+            name: name.into(),
             core: None,
             start: at,
             end: at,
+            value: None,
+        });
+    }
+
+    /// Records one sample of a named counter track (queue occupancy and
+    /// the like); Perfetto renders each distinct name as its own track.
+    pub fn counter(&mut self, name: impl Into<String>, at: Cycle, value: u64) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            core: None,
+            start: at,
+            end: at,
+            value: Some(value),
         });
     }
 
@@ -75,30 +107,60 @@ impl TraceRecorder {
 
     /// Renders the Chrome trace JSON (the "JSON array format": one
     /// complete event per element; `ts`/`dur` are microseconds of
-    /// *simulated* time).
+    /// *simulated* time). Lane names are announced with `thread_name`
+    /// metadata records.
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::with_capacity(self.events.len() * 64 + 2);
         out.push('[');
-        for (i, e) in self.events.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        let mut emit = |s: &str, out: &mut String| {
+            if !std::mem::take(&mut first) {
                 out.push(',');
             }
+            out.push_str(s);
+        };
+        if !self.events.is_empty() {
+            for lane in 0..self.cores {
+                emit(
+                    &format!(
+                        r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{lane},"args":{{"name":"core {lane}"}}}}"#
+                    ),
+                    &mut out,
+                );
+            }
+            emit(
+                &format!(
+                    r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":"pmc"}}}}"#,
+                    self.pmc_lane()
+                ),
+                &mut out,
+            );
+        }
+        for e in &self.events {
             let ts = e.start.raw() as f64 / 2000.0; // cycles -> us at 2 GHz
-            let tid = e.core.unwrap_or(PMC_LANE);
-            if e.start == e.end {
+            let tid = e.core.unwrap_or(self.pmc_lane());
+            let mut buf = String::with_capacity(96);
+            if let Some(v) = e.value {
                 let _ = write!(
-                    out,
+                    buf,
+                    r#"{{"name":"{}","ph":"C","ts":{ts:.4},"pid":0,"args":{{"value":{v}}}}}"#,
+                    e.name
+                );
+            } else if e.start == e.end {
+                let _ = write!(
+                    buf,
                     r#"{{"name":"{}","ph":"i","s":"t","ts":{ts:.4},"pid":0,"tid":{tid}}}"#,
                     e.name
                 );
             } else {
                 let dur = (e.end - e.start).raw() as f64 / 2000.0;
                 let _ = write!(
-                    out,
+                    buf,
                     r#"{{"name":"{}","ph":"X","ts":{ts:.4},"dur":{dur:.4},"pid":0,"tid":{tid}}}"#,
                     e.name
                 );
             }
+            emit(&buf, &mut out);
         }
         out.push(']');
         out
@@ -121,7 +183,7 @@ mod tests {
 
     #[test]
     fn spans_and_instants_render() {
-        let mut t = TraceRecorder::new();
+        let mut t = TraceRecorder::new(2);
         t.span(0, "ld", Cycle::from_raw(10), Cycle::from_raw(30));
         t.instant("WB", Cycle::from_raw(40));
         assert_eq!(t.len(), 2);
@@ -130,12 +192,49 @@ mod tests {
         assert!(json.contains(r#""name":"ld""#));
         assert!(json.contains(r#""ph":"X""#));
         assert!(json.contains(r#""ph":"i""#));
-        assert!(json.contains(r#""tid":1000"#), "PMC lane: {json}");
+        assert!(
+            json.contains(r#""tid":2"#),
+            "PMC lane follows cores: {json}"
+        );
+    }
+
+    #[test]
+    fn pmc_lane_is_derived_from_core_count() {
+        assert_eq!(TraceRecorder::new(8).pmc_lane(), 8);
+        assert_eq!(TraceRecorder::new(64).pmc_lane(), 64);
+        // A machine with many cores cannot collide with the PMC lane.
+        let mut t = TraceRecorder::new(3);
+        t.span(2, "st", Cycle::from_raw(0), Cycle::from_raw(2));
+        t.instant("RD", Cycle::from_raw(1));
+        let json = t.to_chrome_trace();
+        assert!(json.contains(r#""ph":"i","s":"t","ts":0.0005,"pid":0,"tid":3"#));
+    }
+
+    #[test]
+    fn lanes_are_named_in_metadata() {
+        let mut t = TraceRecorder::new(2);
+        t.span(1, "ld", Cycle::from_raw(0), Cycle::from_raw(2));
+        let json = t.to_chrome_trace();
+        assert!(json
+            .contains(r#""name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"core 0"}"#));
+        assert!(json.contains(r#""tid":1,"args":{"name":"core 1"}"#));
+        assert!(json.contains(r#""tid":2,"args":{"name":"pmc"}"#));
+    }
+
+    #[test]
+    fn counters_render_as_counter_events() {
+        let mut t = TraceRecorder::new(1);
+        t.counter("core0.sq", Cycle::from_ns(1000), 7);
+        let json = t.to_chrome_trace();
+        assert!(
+            json.contains(r#""name":"core0.sq","ph":"C","ts":1.0000,"pid":0,"args":{"value":7}"#),
+            "{json}"
+        );
     }
 
     #[test]
     fn timestamps_are_microseconds() {
-        let mut t = TraceRecorder::new();
+        let mut t = TraceRecorder::new(4);
         t.span(2, "st", Cycle::from_ns(2000), Cycle::from_ns(3000));
         let json = t.to_chrome_trace();
         assert!(json.contains(r#""ts":2.0000"#), "{json}");
@@ -145,12 +244,12 @@ mod tests {
 
     #[test]
     fn empty_trace_is_valid_json() {
-        assert_eq!(TraceRecorder::new().to_chrome_trace(), "[]");
+        assert_eq!(TraceRecorder::new(4).to_chrome_trace(), "[]");
     }
 
     #[test]
     fn write_to_a_buffer() {
-        let mut t = TraceRecorder::new();
+        let mut t = TraceRecorder::new(1);
         t.instant("RD", Cycle::from_raw(1));
         let mut buf = Vec::new();
         t.write_chrome_trace(&mut buf).unwrap();

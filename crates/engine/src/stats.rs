@@ -82,18 +82,170 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated by linear interpolation
+    /// inside the power-of-two bucket holding the target rank, clamped to
+    /// the observed `[min, max]`. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0 ..= 1.0`.
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        // Rank of the target sample, 1-based: ceil(q * n), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                // Bucket i holds values in [2^(i-1), 2^i - 1] (bucket 0
+                // holds zeros); interpolate across that inclusive range.
+                let (lo, hi) = if i == 0 {
+                    (0.0, 0.0)
+                } else {
+                    ((1u64 << (i - 1)) as f64, ((1u64 << i) - 1) as f64)
+                };
+                let into = (rank - seen) as f64 / n as f64;
+                let est = (lo + (hi - lo) * into).round() as u64;
+                return Some(Duration::from_cycles(
+                    est.clamp(self.min_cycles, self.max_cycles),
+                ));
+            }
+            seen += n;
+        }
+        self.max()
+    }
+
+    /// Median sample ([`Histogram::percentile`] at 0.50).
+    pub fn p50(&self) -> Option<Duration> {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile sample.
+    pub fn p95(&self) -> Option<Duration> {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile sample.
+    pub fn p99(&self) -> Option<Duration> {
+        self.percentile(0.99)
+    }
 }
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={} min={} max={}",
+            "n={} mean={} min={} max={} p50={} p95={} p99={}",
             self.count,
             self.mean(),
             self.min().unwrap_or(Duration::ZERO),
             self.max().unwrap_or(Duration::ZERO),
+            self.p50().unwrap_or(Duration::ZERO),
+            self.p95().unwrap_or(Duration::ZERO),
+            self.p99().unwrap_or(Duration::ZERO),
         )
+    }
+}
+
+/// A bounded time series of `(time, value)` samples.
+///
+/// Recording is deterministic: the series keeps every `stride`-th offered
+/// sample, and whenever the retained points reach `max_points` it drops
+/// every other retained point and doubles the stride. Total memory is
+/// bounded regardless of run length, and the kept points depend only on
+/// the sample sequence — never on wall-clock or thread timing.
+///
+/// # Examples
+///
+/// ```
+/// use pmemspec_engine::stats::TimeSeries;
+///
+/// let mut ts = TimeSeries::new(4);
+/// for i in 0..100 {
+///     ts.record(i * 10, i);
+/// }
+/// assert!(ts.len() <= 4);
+/// assert_eq!(ts.seen(), 100);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeSeries {
+    max_points: usize,
+    stride: u64,
+    seen: u64,
+    points: Vec<(u64, u64)>,
+}
+
+impl TimeSeries {
+    /// Creates a series retaining at most `max_points` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_points` is less than 2 (compaction needs room to
+    /// halve).
+    pub fn new(max_points: usize) -> Self {
+        assert!(max_points >= 2, "time series needs at least two points");
+        TimeSeries {
+            max_points,
+            stride: 1,
+            seen: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Offers one sample taken at `at` (raw cycles).
+    pub fn record(&mut self, at: u64, value: u64) {
+        if self.seen.is_multiple_of(self.stride) {
+            self.points.push((at, value));
+            if self.points.len() >= self.max_points {
+                let mut keep = 0usize;
+                self.points.retain(|_| {
+                    let k = keep.is_multiple_of(2);
+                    keep += 1;
+                    k
+                });
+                self.stride *= 2;
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// The retained `(time, value)` points, in time order.
+    pub fn points(&self) -> &[(u64, u64)] {
+        &self.points
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total samples offered (retained or decimated).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Largest retained value, or zero when empty.
+    pub fn max_value(&self) -> u64 {
+        self.points.iter().map(|&(_, v)| v).max().unwrap_or(0)
+    }
+
+    /// Arithmetic mean of the retained values, or zero when empty.
+    pub fn mean_value(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v as f64).sum::<f64>() / self.points.len() as f64
     }
 }
 
@@ -234,6 +386,107 @@ mod tests {
         assert_eq!(h.buckets()[1], 1);
         assert_eq!(h.buckets()[2], 2);
         assert_eq!(h.buckets()[3], 1);
+    }
+
+    #[test]
+    fn percentiles_on_exact_distributions() {
+        // 100 samples of exactly 8 cycles: every percentile is 8.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(Duration::from_cycles(8));
+        }
+        assert_eq!(h.p50().unwrap().raw(), 8);
+        assert_eq!(h.p95().unwrap().raw(), 8);
+        assert_eq!(h.p99().unwrap().raw(), 8);
+
+        // 99 samples of 1 cycle and one of 1024: the tail only shows up
+        // at p100; p50/p95/p99 sit in the 1-cycle bucket.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_cycles(1));
+        }
+        h.record(Duration::from_cycles(1024));
+        assert_eq!(h.p50().unwrap().raw(), 1);
+        assert_eq!(h.p99().unwrap().raw(), 1);
+        assert_eq!(h.percentile(1.0).unwrap().raw(), 1024);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_a_bucket() {
+        // Ten samples spread across the [8, 16) bucket: p50 lands mid
+        // bucket, and every estimate stays inside the observed range.
+        let mut h = Histogram::new();
+        for c in [8u64, 9, 10, 11, 12, 12, 13, 14, 15, 15] {
+            h.record(Duration::from_cycles(c));
+        }
+        let p50 = h.p50().unwrap().raw();
+        assert!((8..=15).contains(&p50), "p50={p50}");
+        let p99 = h.p99().unwrap().raw();
+        assert!(p99 <= 15, "p99 clamped to max, got {p99}");
+        assert!(h.percentile(0.0).unwrap().raw() >= 8, "clamped to min");
+    }
+
+    #[test]
+    fn percentiles_empty_and_zero() {
+        assert_eq!(Histogram::new().p50(), None);
+        let mut h = Histogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.p50().unwrap().raw(), 0);
+        assert_eq!(h.p99().unwrap().raw(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_rejects_bad_quantile() {
+        let _ = Histogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn display_includes_percentiles() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_cycles(4));
+        let s = h.to_string();
+        assert!(s.contains("p50=4cy"), "{s}");
+        assert!(s.contains("p99=4cy"), "{s}");
+    }
+
+    #[test]
+    fn time_series_records_and_bounds() {
+        let mut ts = TimeSeries::new(8);
+        for i in 0..1000u64 {
+            ts.record(i, i % 7);
+        }
+        assert!(ts.len() < 8, "stays under the cap, got {}", ts.len());
+        assert_eq!(ts.seen(), 1000);
+        // Points stay in time order after compaction.
+        let times: Vec<u64> = ts.points().iter().map(|&(t, _)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn time_series_is_deterministic() {
+        let run = || {
+            let mut ts = TimeSeries::new(16);
+            for i in 0..5000u64 {
+                ts.record(i * 3, i.wrapping_mul(2654435761) % 100);
+            }
+            ts
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn time_series_summaries() {
+        let mut ts = TimeSeries::new(8);
+        assert_eq!(ts.max_value(), 0);
+        assert_eq!(ts.mean_value(), 0.0);
+        ts.record(0, 2);
+        ts.record(10, 6);
+        assert_eq!(ts.max_value(), 6);
+        assert!((ts.mean_value() - 4.0).abs() < 1e-12);
+        assert!(!ts.is_empty());
     }
 
     #[test]

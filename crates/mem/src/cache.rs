@@ -162,6 +162,11 @@ impl SetAssocCache {
         self.sets.iter().flatten().map(|w| (w.line, w.dirty))
     }
 
+    /// Number of resident dirty lines.
+    pub fn dirty_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.dirty).count()
+    }
+
     /// Drops everything (power-failure simulation).
     pub fn clear(&mut self) {
         for s in &mut self.sets {

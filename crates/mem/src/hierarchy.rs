@@ -466,6 +466,16 @@ impl CacheHierarchy {
     }
 
     /// True when the LLC holds the line (test/diagnostic helper).
+    /// Number of dirty PM lines resident in the LLC — the population the
+    /// speculation buffer monitors once they are evicted. End-of-run
+    /// observability; not on any hot path.
+    pub fn llc_dirty_pm_lines(&self) -> usize {
+        self.llc
+            .lines()
+            .filter(|&(line, dirty)| dirty && line.is_pm())
+            .count()
+    }
+
     pub fn in_llc(&self, line: LineAddr) -> bool {
         self.llc.contains(line)
     }

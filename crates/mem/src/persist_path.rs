@@ -33,6 +33,10 @@ pub struct PersistPath {
     latency: Duration,
     gap: Duration,
     last_delivery: Cycle,
+    /// Delivery times of entries still traversing the path, FIFO.
+    /// Informational only (occupancy sampling); never consulted for
+    /// timing, so tracking it cannot perturb the simulation.
+    in_flight: std::collections::VecDeque<Cycle>,
     sent: u64,
 }
 
@@ -43,6 +47,7 @@ impl PersistPath {
             latency,
             gap,
             last_delivery: Cycle::ZERO,
+            in_flight: std::collections::VecDeque::new(),
             sent: 0,
         }
     }
@@ -58,6 +63,10 @@ impl PersistPath {
         };
         self.last_delivery = delivery;
         self.sent += 1;
+        while self.in_flight.front().is_some_and(|&d| d <= now) {
+            self.in_flight.pop_front();
+        }
+        self.in_flight.push_back(delivery);
         delivery
     }
 
@@ -65,6 +74,15 @@ impl PersistPath {
     /// later entries queue behind it.
     pub fn note_backpressure(&mut self, accepted: Cycle) {
         self.last_delivery = self.last_delivery.max(accepted);
+        if let Some(back) = self.in_flight.back_mut() {
+            *back = (*back).max(accepted);
+        }
+    }
+
+    /// Entries still traversing the path at `now`. Non-mutating, for
+    /// occupancy samplers.
+    pub fn in_flight_at(&self, now: Cycle) -> usize {
+        self.in_flight.iter().filter(|&&d| d > now).count()
     }
 
     /// The time by which everything sent so far has been delivered —
@@ -126,6 +144,20 @@ mod tests {
         let d = p.send(Cycle::ZERO);
         assert_eq!(p.drained_at(Cycle::ZERO), d);
         assert_eq!(p.drained_at(d), d);
+    }
+
+    #[test]
+    fn in_flight_tracks_occupancy_without_mutating() {
+        let mut p = path();
+        assert_eq!(p.in_flight_at(Cycle::ZERO), 0, "idle path");
+        let d1 = p.send(Cycle::ZERO);
+        let d2 = p.send(Cycle::ZERO);
+        assert_eq!(p.in_flight_at(Cycle::ZERO), 2);
+        assert_eq!(p.in_flight_at(d1), 1, "first entry delivered");
+        assert_eq!(p.in_flight_at(d2), 0);
+        // Observing occupancy changes nothing about future timing.
+        let d3 = p.send(d2);
+        assert_eq!(d3, d2 + Duration::from_ns(20).max(Duration::from_ns(2)));
     }
 
     #[test]

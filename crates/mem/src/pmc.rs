@@ -83,6 +83,13 @@ impl ServicePort {
         self.served
     }
 
+    /// Requests still in flight at `now` (admitted, not yet completed).
+    /// Read-only: entries already complete are skipped, not pruned, so
+    /// observers never perturb the port's state.
+    pub(crate) fn inflight_at(&self, now: Cycle) -> usize {
+        self.inflight.iter().filter(|&&d| d > now).count()
+    }
+
     /// Completion time of the last request in flight, if any is pending at
     /// `now`.
     pub(crate) fn drained_at(&self, now: Cycle) -> Cycle {
@@ -184,6 +191,17 @@ impl PmController {
     /// When all writes in flight at `now` will have completed.
     pub fn writes_drained_at(&self, now: Cycle) -> Cycle {
         self.write_port.drained_at(now)
+    }
+
+    /// Read-queue occupancy at `now` (entries admitted, not yet
+    /// serviced). Non-mutating, for occupancy samplers.
+    pub fn read_queue_depth(&self, now: Cycle) -> usize {
+        self.read_port.inflight_at(now)
+    }
+
+    /// Write-queue occupancy at `now`. Non-mutating.
+    pub fn write_queue_depth(&self, now: Cycle) -> usize {
+        self.write_port.inflight_at(now)
     }
 }
 

@@ -21,6 +21,8 @@ for bin in table3 fig9 fig11 fig12 misspec ablation_detect ablation_checkpoint \
     echo "== $bin"
     ./target/release/$bin --json "$@" > "results/$bin.md"
 done
+echo "== explain (cycle-accounting breakdown)"
+./target/release/explain --out results "$@" > /dev/null
 echo "== fig10 (16/32/64 cores, the slow one)"
 ./target/release/fig10 --json "$@" > results/fig10.md
 if command -v python3 >/dev/null; then
