@@ -17,13 +17,28 @@
 //! crash_cycle=…`). `PMEMSPEC_SMOKE=1` shrinks the fuzz grid (1 seed,
 //! fewer FASEs and crash points) but always runs the full litmus suite.
 //! The default grid samples well over 1,000 distinct crash points.
+//!
+//! **`--litmus-exhaustive`** replaces both phases with the exhaustive
+//! model checker: every (litmus test × design) pair is enumerated over
+//! *all* persist-order interleavings of the untimed abstract machine and
+//! diffed against the axiomatic Px86-style allowed set
+//! ([`pmemspec_crashtest::check_litmus_exhaustive`]). Writes byte-stable
+//! `<out>/litmus_exhaustive.md` and `<out>/litmus_exhaustive.json`
+//! (`--out DIR`, default `results`); pairs fan over the shared worker
+//! pool and reduce in suite order, so pooled and `--serial` outputs are
+//! byte-identical — CI diffs the two. Exit code is nonzero on any
+//! forbidden outcome, deadlock, or finals-coverage failure; coverage
+//! slack is reported but not fatal.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use pmemspec_bench::sweep::{parallel_map, worker_count};
 use pmemspec_bench::{seeds, smoke_mode, write_json, BenchArgs, Json};
-use pmemspec_crashtest::{litmus_suite, run_fuzz_job, run_litmus, FuzzJob};
+use pmemspec_crashtest::{
+    check_litmus_exhaustive, litmus_suite, run_fuzz_job, run_litmus, FuzzJob,
+};
 use pmemspec_isa::DesignKind;
 use pmemspec_workloads::{Benchmark, WorkloadParams};
 
@@ -44,8 +59,274 @@ fn fases_for(benchmark: Benchmark, smoke: bool) -> usize {
     }
 }
 
+/// `--litmus-exhaustive` and `--out DIR` / `--out=DIR`, scanned from the
+/// raw argument list ([`BenchArgs`] ignores flags it does not know).
+fn extra_flags() -> (bool, PathBuf) {
+    let mut exhaustive = false;
+    let mut out = PathBuf::from("results");
+    let mut iter = std::env::args().skip(1).peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--litmus-exhaustive" => exhaustive = true,
+            "--out" => {
+                if let Some(v) = iter.peek() {
+                    if !v.starts_with('-') {
+                        out = PathBuf::from(iter.next().expect("peeked"));
+                    }
+                }
+            }
+            _ => {
+                if let Some(v) = arg.strip_prefix("--out=") {
+                    out = PathBuf::from(v);
+                }
+            }
+        }
+    }
+    (exhaustive, out)
+}
+
+/// The `--litmus-exhaustive` mode: enumerate every (shape × design)
+/// pair, diff against the axiomatic oracle, and write the byte-stable
+/// report pair. Returns the process exit code.
+fn run_litmus_exhaustive(args: &BenchArgs, out: &PathBuf) -> ExitCode {
+    use std::fmt::Write as _;
+
+    let workers = worker_count(args);
+    let started = Instant::now();
+
+    let suite = litmus_suite();
+    let pairs: Vec<(usize, DesignKind)> = (0..suite.len())
+        .flat_map(|t| DesignKind::ALL_EXTENDED.map(|d| (t, d)))
+        .collect();
+    let reports = parallel_map(pairs.len(), workers, |i| {
+        let (t, design) = pairs[i];
+        check_litmus_exhaustive(&suite[t], design)
+    });
+
+    let mut md = String::new();
+    let w = &mut md;
+    writeln!(w, "# Exhaustive litmus model check").unwrap();
+    writeln!(w).unwrap();
+    writeln!(
+        w,
+        "Every (litmus shape x design) pair: all persist-order interleavings \
+         of the untimed abstract machine, enumerated by explicit-state search \
+         and diffed against the axiomatic Px86-style allowed set. `forbidden` \
+         = produced but not allowed (simulator/model bug); `slack` = allowed \
+         but never produced (coverage gap, reported, not fatal). See \
+         DESIGN.md \"Axiomatic persistency oracle\" and EXPERIMENTS.md."
+    )
+    .unwrap();
+    writeln!(w).unwrap();
+    writeln!(
+        w,
+        "| test | design | class | states | transitions | outcomes | allowed | forbidden | slack | verdict |"
+    )
+    .unwrap();
+    writeln!(w, "|---|---|---|---|---|---|---|---|---|---|").unwrap();
+    let (mut total_states, mut total_outcomes) = (0usize, 0usize);
+    let mut failures = 0usize;
+    for r in &reports {
+        let e = &r.enumerated;
+        total_states += e.stats.states;
+        total_outcomes += e.outcomes.len();
+        if !r.is_ok() {
+            failures += 1;
+        }
+        writeln!(
+            w,
+            "| {} | {} | {:?} | {} | {} | {} | {} | {} | {} | {} |",
+            e.test,
+            e.design.label(),
+            e.design.persistency_class(),
+            e.stats.states,
+            e.stats.transitions,
+            e.outcomes.len(),
+            r.allowed.len(),
+            r.forbidden.len(),
+            r.slack.len(),
+            if r.is_ok() { "ok" } else { "FAIL" },
+        )
+        .unwrap();
+    }
+    writeln!(w).unwrap();
+
+    writeln!(w, "## Forbidden outcomes").unwrap();
+    writeln!(w).unwrap();
+    let forbidden: Vec<_> = reports.iter().flat_map(|r| r.forbidden.iter()).collect();
+    if forbidden.is_empty() {
+        writeln!(w, "none").unwrap();
+    } else {
+        for m in &forbidden {
+            writeln!(w, "* `{m}`").unwrap();
+        }
+    }
+    writeln!(w).unwrap();
+
+    writeln!(w, "## Coverage slack").unwrap();
+    writeln!(w).unwrap();
+    let mut any_slack = false;
+    for r in &reports {
+        for s in &r.slack {
+            any_slack = true;
+            writeln!(
+                w,
+                "* {} on {}: allowed outcome {:?} never produced",
+                r.enumerated.test,
+                r.enumerated.design.label(),
+                s
+            )
+            .unwrap();
+        }
+    }
+    if !any_slack {
+        writeln!(w, "none").unwrap();
+    }
+    writeln!(w).unwrap();
+
+    writeln!(w, "## Deadlocks").unwrap();
+    writeln!(w).unwrap();
+    let deadlocks: Vec<_> = reports
+        .iter()
+        .flat_map(|r| {
+            r.enumerated.deadlocks.iter().map(move |d| {
+                format!(
+                    "{} on {}: {d}",
+                    r.enumerated.test,
+                    r.enumerated.design.label()
+                )
+            })
+        })
+        .collect();
+    if deadlocks.is_empty() {
+        writeln!(w, "none").unwrap();
+    } else {
+        for d in &deadlocks {
+            writeln!(w, "* {d}").unwrap();
+        }
+    }
+    writeln!(w).unwrap();
+    writeln!(
+        w,
+        "{} pairs, {} reachable states, {} distinct surviving-image outcomes, \
+         {} failing pair(s)",
+        reports.len(),
+        total_states,
+        total_outcomes,
+        failures
+    )
+    .unwrap();
+
+    print!("{md}");
+
+    let json = Json::obj([
+        ("pairs".into(), Json::Num(reports.len() as f64)),
+        ("total_states".into(), Json::Num(total_states as f64)),
+        ("total_outcomes".into(), Json::Num(total_outcomes as f64)),
+        ("failures".into(), Json::Num(failures as f64)),
+        (
+            "reports".into(),
+            Json::Arr(
+                reports
+                    .iter()
+                    .map(|r| {
+                        let e = &r.enumerated;
+                        let outcomes = |set: &std::collections::BTreeSet<Vec<u64>>| {
+                            Json::Arr(
+                                set.iter()
+                                    .map(|o| {
+                                        Json::Arr(o.iter().map(|&v| Json::Num(v as f64)).collect())
+                                    })
+                                    .collect(),
+                            )
+                        };
+                        Json::obj([
+                            ("test".into(), Json::Str(e.test.into())),
+                            ("design".into(), Json::Str(e.design.label().into())),
+                            (
+                                "class".into(),
+                                Json::Str(format!("{:?}", e.design.persistency_class())),
+                            ),
+                            ("states".into(), Json::Num(e.stats.states as f64)),
+                            ("transitions".into(), Json::Num(e.stats.transitions as f64)),
+                            ("max_depth".into(), Json::Num(e.stats.max_depth as f64)),
+                            (
+                                "terminal_states".into(),
+                                Json::Num(e.stats.terminal_states as f64),
+                            ),
+                            ("outcomes".into(), outcomes(&e.outcomes)),
+                            ("terminal_outcomes".into(), outcomes(&e.terminal_outcomes)),
+                            ("allowed".into(), outcomes(&r.allowed)),
+                            (
+                                "forbidden".into(),
+                                Json::Arr(
+                                    r.forbidden
+                                        .iter()
+                                        .map(|m| Json::Str(m.to_string()))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "slack".into(),
+                                Json::Arr(
+                                    r.slack
+                                        .iter()
+                                        .map(|o| {
+                                            Json::Arr(
+                                                o.iter().map(|&v| Json::Num(v as f64)).collect(),
+                                            )
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            ("deadlocks".into(), Json::Num(e.deadlocks.len() as f64)),
+                            ("finals_ok".into(), Json::Bool(r.finals_ok)),
+                            ("ok".into(), Json::Bool(r.is_ok())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+
+    std::fs::create_dir_all(out).unwrap_or_else(|e| panic!("cannot create {}: {e}", out.display()));
+    let md_path = out.join("litmus_exhaustive.md");
+    std::fs::write(&md_path, &md)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", md_path.display()));
+    let json_path = out.join("litmus_exhaustive.json");
+    std::fs::write(&json_path, json.render_pretty())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", json_path.display()));
+
+    // Wall clock goes to stderr so the checked-in report stays
+    // byte-stable across regenerations.
+    eprintln!(
+        "crashfuzz --litmus-exhaustive: {:.1} s, {} workers, wrote {} and {}",
+        started.elapsed().as_secs_f64(),
+        workers,
+        md_path.display(),
+        json_path.display()
+    );
+
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        for m in &forbidden {
+            eprintln!("MODEL MISMATCH: {m}");
+        }
+        for d in &deadlocks {
+            eprintln!("DEADLOCK: {d}");
+        }
+        eprintln!("crashfuzz --litmus-exhaustive FAILED: {failures} pair(s)");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = BenchArgs::parse();
+    let (exhaustive, out) = extra_flags();
+    if exhaustive {
+        return run_litmus_exhaustive(&args, &out);
+    }
     let smoke = smoke_mode();
     let workers = worker_count(&args);
     let started = Instant::now();

@@ -9,7 +9,7 @@
 //! *Lost in Interpretation*): persistency models are best validated by
 //! systematically observing persisted outcomes at crash points.
 //!
-//! Two subsystems:
+//! Four subsystems:
 //!
 //! * [`fuzzer`] — a crash-point fuzzer. For every (workload × design ×
 //!   seed) point it runs the program once with
@@ -30,17 +30,42 @@
 //!   design's allowed set — with **no recovery step**, so it pins down
 //!   the hardware models themselves.
 //!
+//! * [`modelcheck`] — an exhaustive litmus model checker. Each design's
+//!   persist machinery is re-expressed as a nondeterministic abstract
+//!   machine over the lowered program, and every reachable persist-order
+//!   interleaving is enumerated with the engine's explicit-state DFS
+//!   ([`pmemspec_engine::explore`]) — every reachable state's persistent
+//!   image is a crash outcome.
+//!
+//! * [`axiomatic`] — a declarative Px86-style oracle in the style of
+//!   Khyzha & Lahav: per-[`pmemspec_isa::PersistencyClass`]
+//!   persist-before partial orders whose prefix closures are exactly the
+//!   allowed crash images. The model checker diffs its enumerated set
+//!   against this one: enumerated-but-forbidden is a simulator bug,
+//!   allowed-but-unreached is coverage slack.
+//!
 //! What this proves and what it cannot: the fuzzer checks *reachable*
 //! crash states on sampled cycles, so it refutes (with a seed +
 //! crash-cycle reproducer) but never verifies exhaustively; the litmus
 //! engine is exhaustive over time for its tiny programs but covers only
-//! the encoded shapes. See DESIGN.md's ledger entry for the full
-//! discussion.
+//! the encoded shapes; the model checker closes that gap for the litmus
+//! shapes by enumerating *all* interleavings, at the price of an
+//! abstract (untimed) machine whose fidelity is itself pinned by the
+//! sampled ⊆ enumerated containment test. See DESIGN.md's ledger entry
+//! for the full discussion.
 
+pub mod axiomatic;
 pub mod fuzzer;
 pub mod litmus;
+pub mod modelcheck;
 pub mod oracle;
 
+pub use axiomatic::{allowed_outcomes, axiomatic_allowed, axiomatic_model, AxiomaticModel};
 pub use fuzzer::{crash_plan, run_fuzz_job, FuzzJob, FuzzJobResult};
-pub use litmus::{litmus_suite, run_litmus, LitmusMismatch, LitmusReport, LitmusTest, OutcomeSpec};
+pub use litmus::{
+    litmus_shape, litmus_suite, run_litmus, LitmusMismatch, LitmusReport, LitmusTest, OutcomeSpec,
+};
+pub use modelcheck::{
+    check_litmus_exhaustive, enumerate_litmus, EnumeratedLitmus, ExhaustiveReport, ModelMismatch,
+};
 pub use oracle::{check_crash_point, CrashPointCtx, Violation};

@@ -419,6 +419,20 @@ pub fn litmus_suite() -> Vec<LitmusTest> {
     ]
 }
 
+/// The suite shape named `name` — the one source of truth for litmus
+/// programs, shared by the sampled engine, the exhaustive model checker,
+/// and the root-level property tests.
+///
+/// # Panics
+///
+/// Panics on an unknown name (a test-suite bug).
+pub fn litmus_shape(name: &str) -> LitmusTest {
+    litmus_suite()
+        .into_iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| panic!("no litmus shape named {name:?}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

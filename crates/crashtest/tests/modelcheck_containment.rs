@@ -1,0 +1,123 @@
+//! The three-way agreement between the sampled litmus engine, the
+//! exhaustive model checker, and the axiomatic Px86-style oracle.
+//!
+//! * **Soundness (sampled ⊆ enumerated):** every outcome the timing
+//!   simulator exhibits at any sampled crash cycle must be reachable in
+//!   the untimed abstract machine — the machine over-approximates the
+//!   simulator, or its enumeration would be meaningless.
+//! * **Correctness (enumerated == allowed):** the enumerated set must
+//!   exactly match the axiomatic allowed set — nothing forbidden is
+//!   produced, and (for these shapes) the machinery exercises every
+//!   freedom the model grants, so coverage slack is zero.
+//! * **Consistency (allowed == hand-written):** the oracle derived from
+//!   the Px86 axioms must reproduce the sampled suite's hand-written
+//!   per-design allowed sets, pinning both encodings to each other.
+
+use std::collections::BTreeSet;
+
+use pmemspec_crashtest::{check_litmus_exhaustive, enumerate_litmus, litmus_suite, run_litmus};
+use pmemspec_isa::{lower_program, DesignKind};
+
+#[test]
+fn sampled_outcomes_are_contained_in_enumerated() {
+    let mut checked_pairs = 0usize;
+    for test in litmus_suite() {
+        for design in DesignKind::ALL_EXTENDED {
+            let sampled = run_litmus(&test, design);
+            let exhaustive = enumerate_litmus(&test, design);
+            for outcome in &sampled.outcomes {
+                assert!(
+                    exhaustive.outcomes.contains(outcome),
+                    "{} on {design}: simulator reached {outcome:?} at some crash \
+                     cycle but the exhaustive model cannot — the abstract machine \
+                     under-approximates the simulator (enumerated: {:?})",
+                    test.name,
+                    exhaustive.outcomes
+                );
+            }
+            checked_pairs += 1;
+        }
+    }
+    assert_eq!(checked_pairs, 30, "6 shapes x 5 designs");
+}
+
+#[test]
+fn enumerated_exactly_matches_axiomatic_allowed() {
+    for test in litmus_suite() {
+        for design in DesignKind::ALL_EXTENDED {
+            let report = check_litmus_exhaustive(&test, design);
+            assert!(
+                report.forbidden.is_empty(),
+                "{} on {design}: model-forbidden outcomes produced:\n{}",
+                test.name,
+                report
+                    .forbidden
+                    .iter()
+                    .map(|m| m.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+            assert!(
+                report.slack.is_empty(),
+                "{} on {design}: allowed but never produced (coverage slack): {:?}",
+                test.name,
+                report.slack
+            );
+            assert!(
+                report.finals_ok,
+                "{} on {design}: terminal outcomes {:?} must cover finals {:?} \
+                 within the allowed set",
+                test.name, report.enumerated.terminal_outcomes, test.finals
+            );
+            assert!(
+                report.enumerated.deadlocks.is_empty(),
+                "{} on {design}: deadlocked traces {:?}",
+                test.name,
+                report.enumerated.deadlocks
+            );
+            // The enumeration must have genuinely explored something.
+            assert!(report.enumerated.stats.states > 1, "{}", test.name);
+            assert!(report.enumerated.stats.terminal_states > 0, "{}", test.name);
+        }
+    }
+}
+
+#[test]
+fn axiomatic_oracle_matches_handwritten_specs() {
+    // The sampled suite's per-design allowed sets were written by hand
+    // from the design descriptions (PR 2); the oracle derives them from
+    // the Px86 axioms. They must agree exactly, for every shape and
+    // design — one divergence means one of the two encodings is wrong.
+    for test in litmus_suite() {
+        for design in DesignKind::ALL_EXTENDED {
+            let lowered = lower_program(design, &test.program);
+            let derived = pmemspec_crashtest::axiomatic_allowed(&lowered, &test.observed);
+            let handwritten: BTreeSet<Vec<u64>> = (test.spec)(design).allowed.into_iter().collect();
+            assert_eq!(
+                derived, handwritten,
+                "{} on {design}: Px86-derived allowed set diverges from the \
+                 hand-written sampled spec",
+                test.name
+            );
+        }
+    }
+}
+
+#[test]
+fn enumeration_terminates_within_small_state_budgets() {
+    // The ISSUE's termination criterion, with concrete numbers: every
+    // (shape x design) state space is tiny — fail loudly if a future
+    // shape or machine change explodes it.
+    for test in litmus_suite() {
+        for design in DesignKind::ALL_EXTENDED {
+            let r = enumerate_litmus(&test, design);
+            assert!(
+                r.stats.states < 200_000,
+                "{} on {design}: {} states — litmus shapes must stay small",
+                test.name,
+                r.stats.states
+            );
+            assert!(!r.outcomes.is_empty(), "{} on {design}", test.name);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Explicit-state exploration of nondeterministic transition systems.
+//!
+//! The timing simulator is deterministic: one configuration, one seed,
+//! one interleaving. Model checking needs the opposite — *every*
+//! interleaving a nondeterministic specification admits. This module is
+//! the engine-side substrate for that: a depth-first search over an
+//! arbitrary state graph whose nondeterminism is exposed as labeled
+//! choice points, with a canonical-state set for deduplication and a
+//! replayable [`DecisionTrace`] per reached state (the one-line
+//! reproducer of any state the checker wants to complain about).
+//!
+//! The driver is deliberately generic: states are any `Clone + Eq +
+//! Hash` value, and the caller supplies a successor function mapping a
+//! state to its enabled transitions. The crashtest crate instantiates
+//! it twice — once for the operational persist-machinery model of each
+//! design (persist-buffer drain order, PMC arbitration, thread
+//! interleaving) and once for the axiomatic Px86 allowed-outcome
+//! enumeration — but nothing here knows about persistency.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmemspec_engine::explore::explore;
+//!
+//! // A two-bit counter where either bit may be set in either order.
+//! let stats = explore(
+//!     (false, false),
+//!     |&(a, b): &(bool, bool)| {
+//!         let mut next = Vec::new();
+//!         if !a {
+//!             next.push(("set-a".to_string(), (true, b)));
+//!         }
+//!         if !b {
+//!             next.push(("set-b".to_string(), (a, true)));
+//!         }
+//!         next
+//!     },
+//!     |_, _, _| {},
+//!     1_000,
+//! )
+//! .unwrap();
+//! assert_eq!(stats.states, 4, "00, 10, 01, 11 — deduplicated");
+//! assert_eq!(stats.terminal_states, 1, "only 11 has no successor");
+//! ```
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// The replayable record of the nondeterministic choices that led from
+/// the initial state to some reached state: one label per transition
+/// taken, in order. Because the successor function is deterministic in
+/// its input state, replaying the labels replays the path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecisionTrace {
+    steps: Vec<String>,
+}
+
+impl DecisionTrace {
+    /// The empty trace (the initial state).
+    pub fn root() -> Self {
+        DecisionTrace::default()
+    }
+
+    /// This trace extended by one more decision.
+    pub fn extended(&self, label: impl Into<String>) -> Self {
+        let mut steps = self.steps.clone();
+        steps.push(label.into());
+        DecisionTrace { steps }
+    }
+
+    /// Number of decisions taken (the state's depth).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for the initial state's trace.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The decision labels, oldest first.
+    pub fn steps(&self) -> &[String] {
+        &self.steps
+    }
+}
+
+impl fmt::Display for DecisionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return f.write_str("(initial)");
+        }
+        f.write_str(&self.steps.join(" ; "))
+    }
+}
+
+/// What an exploration visited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct canonical states visited (the initial state included).
+    pub states: usize,
+    /// Transitions enumerated (edges, counted once per source state).
+    pub transitions: usize,
+    /// Transitions that led to an already-visited state.
+    pub dedup_hits: usize,
+    /// Longest decision trace among visited states.
+    pub max_depth: usize,
+    /// States with no enabled transition.
+    pub terminal_states: usize,
+}
+
+/// The state-space cap was hit — the system under exploration is bigger
+/// than the caller budgeted for (or does not converge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateLimitExceeded {
+    /// The configured cap.
+    pub limit: usize,
+}
+
+impl fmt::Display for StateLimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state space exceeds the {}-state limit", self.limit)
+    }
+}
+
+impl std::error::Error for StateLimitExceeded {}
+
+/// Exhaustively explores the state graph reachable from `initial`.
+///
+/// `successors` maps a state to its enabled transitions as
+/// `(choice label, next state)` pairs; the enumeration order must be
+/// deterministic (it fixes which trace first reaches each state, and
+/// thereby the reproducers the caller reports). `visit` is called
+/// exactly once per distinct state with the first trace that reached it
+/// and whether the state is terminal (no enabled transition). The
+/// search stops with [`StateLimitExceeded`] once more than `limit`
+/// distinct states have been discovered.
+///
+/// # Errors
+///
+/// Returns [`StateLimitExceeded`] when the graph has more than `limit`
+/// reachable states.
+pub fn explore<S, F, V>(
+    initial: S,
+    mut successors: F,
+    mut visit: V,
+    limit: usize,
+) -> Result<ExploreStats, StateLimitExceeded>
+where
+    S: Clone + Eq + Hash,
+    F: FnMut(&S) -> Vec<(String, S)>,
+    V: FnMut(&S, &DecisionTrace, bool),
+{
+    let mut visited: HashSet<S> = HashSet::new();
+    visited.insert(initial.clone());
+    let mut stack = vec![(initial, DecisionTrace::root())];
+    let mut stats = ExploreStats::default();
+    while let Some((state, trace)) = stack.pop() {
+        stats.states += 1;
+        stats.max_depth = stats.max_depth.max(trace.len());
+        let next = successors(&state);
+        stats.transitions += next.len();
+        let terminal = next.is_empty();
+        if terminal {
+            stats.terminal_states += 1;
+        }
+        visit(&state, &trace, terminal);
+        // Reverse so the first-listed choice is popped (explored) first:
+        // reproducer traces prefer the earliest-enumerated decisions.
+        for (label, succ) in next.into_iter().rev() {
+            if visited.contains(&succ) {
+                stats.dedup_hits += 1;
+                continue;
+            }
+            if visited.len() >= limit {
+                return Err(StateLimitExceeded { limit });
+            }
+            visited.insert(succ.clone());
+            stack.push((succ, trace.extended(label)));
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0..n counter: from k the only move is k+1.
+    fn chain(n: u32) -> impl FnMut(&u32) -> Vec<(String, u32)> {
+        move |&k| {
+            if k < n {
+                vec![(format!("inc{k}"), k + 1)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn linear_chain_visits_every_state_once() {
+        let mut seen = Vec::new();
+        let stats = explore(0u32, chain(5), |&s, _, _| seen.push(s), 100).unwrap();
+        assert_eq!(stats.states, 6);
+        assert_eq!(stats.transitions, 5);
+        assert_eq!(stats.dedup_hits, 0);
+        assert_eq!(stats.max_depth, 5);
+        assert_eq!(stats.terminal_states, 1);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn diamond_deduplicates_the_join() {
+        // 0 -> 1 or 2 -> 3: state 3 reached twice, visited once.
+        let succ = |&s: &u32| match s {
+            0 => vec![("a".to_string(), 1), ("b".to_string(), 2)],
+            1 | 2 => vec![("join".to_string(), 3)],
+            _ => Vec::new(),
+        };
+        let mut visits = 0;
+        let stats = explore(0u32, succ, |_, _, _| visits += 1, 100).unwrap();
+        assert_eq!(stats.states, 4);
+        assert_eq!(visits, 4);
+        assert_eq!(stats.dedup_hits, 1, "3 is reached via both branches");
+    }
+
+    #[test]
+    fn traces_replay_the_choice_labels() {
+        let mut deepest = DecisionTrace::root();
+        explore(
+            0u32,
+            chain(3),
+            |_, trace, terminal| {
+                if terminal {
+                    deepest = trace.clone();
+                }
+            },
+            100,
+        )
+        .unwrap();
+        assert_eq!(deepest.len(), 3);
+        assert_eq!(deepest.steps(), ["inc0", "inc1", "inc2"]);
+        assert_eq!(deepest.to_string(), "inc0 ; inc1 ; inc2");
+        assert_eq!(DecisionTrace::root().to_string(), "(initial)");
+        assert!(DecisionTrace::root().is_empty());
+    }
+
+    #[test]
+    fn limit_stops_runaway_graphs() {
+        let err = explore(
+            0u64,
+            |&s| vec![("inc".to_string(), s + 1)],
+            |_, _, _| {},
+            50,
+        )
+        .expect_err("unbounded counter must hit the cap");
+        assert_eq!(err, StateLimitExceeded { limit: 50 });
+        assert!(err.to_string().contains("50"));
+    }
+
+    #[test]
+    fn first_trace_prefers_first_listed_choice() {
+        // Both "fast" and "slow" reach 9; DFS must report the trace
+        // through the first-listed choice.
+        let succ = |&s: &u32| match s {
+            0 => vec![("fast".to_string(), 9), ("slow".to_string(), 1)],
+            1 => vec![("catchup".to_string(), 9)],
+            _ => Vec::new(),
+        };
+        let mut trace_of_9 = None;
+        explore(
+            0u32,
+            succ,
+            |&s, trace, _| {
+                if s == 9 {
+                    trace_of_9 = Some(trace.clone());
+                }
+            },
+            100,
+        )
+        .unwrap();
+        assert_eq!(trace_of_9.unwrap().to_string(), "fast");
+    }
+}

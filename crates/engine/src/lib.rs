@@ -9,6 +9,10 @@
 //! * [`stats`] — counters and histograms collected during simulation.
 //! * [`config`] — the simulator configuration, whose defaults reproduce
 //!   Table 3 of the ASPLOS 2021 paper.
+//! * [`explore`] — explicit-state exploration of nondeterministic
+//!   transition systems with replayable decision traces, used by the
+//!   crashtest model checker to enumerate every persist-order
+//!   interleaving of the litmus suite.
 //!
 //! The simulator built on top of this kernel is *event-driven at component
 //! boundaries*: components exchange timestamped requests and responses, and
@@ -27,11 +31,13 @@
 
 pub mod clock;
 pub mod config;
+pub mod explore;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{Cycle, Duration};
 pub use config::SimConfig;
+pub use explore::{explore, DecisionTrace, ExploreStats, StateLimitExceeded};
 pub use rng::SimRng;
 pub use stats::Stats;

@@ -11,7 +11,10 @@
 //!   the simulated machine;
 //! * [`runtime`] — undo/redo failure-atomic runtimes and recovery;
 //! * [`workloads`] — the Table 4 benchmark suite and the §8.4 synthetic
-//!   programs.
+//!   programs;
+//! * [`crashtest`] — the crash-consistency fuzzer, the persistency litmus
+//!   suite, and the exhaustive litmus model checker with its axiomatic
+//!   Px86-style oracle.
 //!
 //! # Example
 //!
@@ -27,6 +30,7 @@
 //! ```
 
 pub use pmem_spec as core;
+pub use pmemspec_crashtest as crashtest;
 pub use pmemspec_engine as engine;
 pub use pmemspec_isa as isa;
 pub use pmemspec_mem as mem;

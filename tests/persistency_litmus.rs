@@ -1,5 +1,13 @@
-//! Persistency litmus tests: tiny programs whose *every possible crash
-//! state* is checked against the persistency model each design promises.
+//! Persistency litmus properties checked on the timing simulator.
+//!
+//! The litmus *shapes* live in one place — `pmemspec_crashtest::litmus`'s
+//! [`litmus_shape`]/`litmus_suite` — shared by the sampled engine, the
+//! exhaustive model checker (`crates/crashtest/src/modelcheck.rs`), and
+//! this file, so a shape edit cannot silently diverge between suites.
+//! This file keeps the *property-style* checks that don't fit the
+//! allowed-set formulation: fine-grained crash sweeps against specific
+//! orderings, monotonicity of the persistent image, durability-barrier
+//! hard lines, and cross-thread write-after-write behavior.
 //!
 //! The sweep runs `run_until` at a fine grid of crash times over the whole
 //! execution, so any ordering the model forbids would be caught at some
@@ -9,12 +17,14 @@
 use std::collections::HashMap;
 
 use pmem_spec_repro::core::System;
+use pmem_spec_repro::crashtest::litmus_shape;
 use pmem_spec_repro::isa::abs::{AbsProgram, AbsThread};
 use pmem_spec_repro::isa::{Addr, LockId};
 use pmem_spec_repro::prelude::*;
 
-const A: u64 = 4096;
-const B: u64 = 4096 + 128; // different cache line
+/// Scratch PM word used by the property tests' own programs, on its own
+/// cache line far from the suite shapes' footprint.
+const A: u64 = 64 * 1024;
 
 fn addr(off: u64) -> Addr {
     Addr::pm(off)
@@ -39,43 +49,21 @@ fn crash_sweep(design: DesignKind, program: &AbsProgram, points: u64) -> Vec<Has
     states
 }
 
-fn v(state: &HashMap<Addr, u64>, off: u64) -> u64 {
-    state.get(&addr(off)).copied().unwrap_or(0)
-}
-
-/// st A=1; st B=1 — no barrier between them.
-fn two_stores() -> AbsProgram {
-    let mut t = AbsThread::new();
-    t.begin_fase();
-    t.data_write(addr(A), 1u64);
-    t.data_write(addr(B), 1u64);
-    t.end_fase();
-    let mut p = AbsProgram::new();
-    p.add_thread(t);
-    p
-}
-
-/// st A=1; ordering point; st B=1.
-fn two_stores_ordered() -> AbsProgram {
-    let mut t = AbsThread::new();
-    t.begin_fase();
-    t.log_write(addr(A), 1u64); // log phase so the ordering point applies
-    t.log_order();
-    t.data_write(addr(B), 1u64);
-    t.end_fase();
-    let mut p = AbsProgram::new();
-    p.add_thread(t);
-    p
+fn at(state: &HashMap<Addr, u64>, a: Addr) -> u64 {
+    state.get(&a).copied().unwrap_or(0)
 }
 
 #[test]
 fn strict_designs_never_reorder_unfenced_stores() {
     // PMEM-Spec and DPO promise strict persistency: B=1 without A=1 is
-    // forbidden even with no barrier between the stores.
+    // forbidden even with no barrier between the stores. The shape is
+    // the suite's class-separating `store_store`.
+    let shape = litmus_shape("store_store");
+    let (a, b) = (shape.observed[0], shape.observed[1]);
     for design in [DesignKind::PmemSpec, DesignKind::Dpo] {
-        for state in crash_sweep(design, &two_stores(), 400) {
+        for state in crash_sweep(design, &shape.program, 400) {
             assert!(
-                !(v(&state, B) == 1 && v(&state, A) == 0),
+                !(at(&state, b) == 1 && at(&state, a) == 0),
                 "{design}: B persisted before A under strict persistency"
             );
         }
@@ -84,12 +72,15 @@ fn strict_designs_never_reorder_unfenced_stores() {
 
 #[test]
 fn every_design_respects_explicit_ordering_points() {
-    // st A; ordering-point; st B: B=1 without A=1 is forbidden everywhere
-    // (SFENCE / ofence / strand barrier / FIFO path).
+    // The suite's `flush_store` shape: log A; log-order; st B. B=1
+    // without A=1 is forbidden everywhere (SFENCE / ofence / strand
+    // barrier / FIFO path).
+    let shape = litmus_shape("flush_store");
+    let (a, b) = (shape.observed[0], shape.observed[1]);
     for design in DesignKind::ALL_EXTENDED {
-        for state in crash_sweep(design, &two_stores_ordered(), 400) {
+        for state in crash_sweep(design, &shape.program, 400) {
             assert!(
-                !(v(&state, B) == 1 && v(&state, A) == 0),
+                !(at(&state, b) == 1 && at(&state, a) == 0),
                 "{design}: ordering point violated"
             );
         }
@@ -97,20 +88,19 @@ fn every_design_respects_explicit_ordering_points() {
 }
 
 #[test]
-fn epoch_designs_may_reorder_within_an_epoch() {
-    // The same unfenced program under the *epoch* model: both stores share
-    // an epoch, so either may persist first. This is a semantic difference
-    // from strict persistency, not a bug — assert the states seen are
-    // always a subset of the legal ones, and that the model's extra
-    // freedom is real for at least one design (HOPS persists words
-    // through its buffer in insertion order per our timing model, so we
-    // assert only legality here).
+fn epoch_designs_stay_within_their_allowed_set() {
+    // The unfenced `store_store` shape under the *epoch* model: both
+    // stores share an epoch, so either may persist first. Assert every
+    // swept state is in the shape's own per-design allowed set — the
+    // same source of truth the sampled engine enforces.
+    let shape = litmus_shape("store_store");
     for design in [DesignKind::IntelX86, DesignKind::Hops] {
-        for state in crash_sweep(design, &two_stores(), 400) {
-            let (a, b) = (v(&state, A), v(&state, B));
+        let allowed = (shape.spec)(design).allowed;
+        for state in crash_sweep(design, &shape.program, 400) {
+            let outcome: Vec<u64> = shape.observed.iter().map(|&w| at(&state, w)).collect();
             assert!(
-                matches!((a, b), (0, 0) | (1, 0) | (0, 1) | (1, 1)),
-                "{design}: impossible values a={a} b={b}"
+                allowed.contains(&outcome),
+                "{design}: outcome {outcome:?} outside the allowed set"
             );
         }
     }
@@ -120,9 +110,10 @@ fn epoch_designs_may_reorder_within_an_epoch() {
 fn durability_barrier_is_a_hard_line() {
     // Once the FASE's durability barrier completes, every store of the
     // FASE must be in the persistent image at any later crash.
-    let program = two_stores_ordered();
+    let shape = litmus_shape("flush_store");
+    let (a, b) = (shape.observed[0], shape.observed[1]);
     for design in DesignKind::ALL_EXTENDED {
-        let lowered = lower_program(design, &program);
+        let lowered = lower_program(design, &shape.program);
         let full = System::new(SimConfig::asplos21(1), lowered.clone())
             .unwrap()
             .run();
@@ -132,8 +123,16 @@ fn durability_barrier_is_a_hard_line() {
             .run_until(full.total_time);
         assert_eq!(outcome.durable_fases, vec![1], "{design}");
         let state = outcome.persistent;
-        assert_eq!(v(&state, A), 1, "{design}: A not durable after the barrier");
-        assert_eq!(v(&state, B), 1, "{design}: B not durable after the barrier");
+        assert_eq!(
+            at(&state, a),
+            1,
+            "{design}: A not durable after the barrier"
+        );
+        assert_eq!(
+            at(&state, b),
+            1,
+            "{design}: B not durable after the barrier"
+        );
     }
 }
 
@@ -152,7 +151,7 @@ fn persistent_state_is_monotone_for_single_writer() {
     for design in DesignKind::ALL_EXTENDED {
         let mut last = 0u64;
         for state in crash_sweep(design, &p, 300) {
-            let cur = v(&state, A);
+            let cur = at(&state, addr(A));
             assert!(cur >= last, "{design}: persistent value went backwards");
             last = cur;
         }
@@ -193,7 +192,7 @@ fn lock_release_orders_cross_thread_waw() {
             let outcome = System::new(SimConfig::asplos21(2), lowered.clone())
                 .unwrap()
                 .run_until(crash_at);
-            let cur = v(&outcome.persistent, A);
+            let cur = at(&outcome.persistent, addr(A));
             if cur == final_value {
                 seen_second = true;
             } else if seen_second {
@@ -228,5 +227,5 @@ fn unbarriered_pm_stores_still_persist_under_pmem_spec() {
     let outcome = System::new(SimConfig::asplos21(1), lowered)
         .unwrap()
         .run_until(crash_at);
-    assert_eq!(v(&outcome.persistent, A), 7);
+    assert_eq!(at(&outcome.persistent, addr(A)), 7);
 }
