@@ -1,0 +1,57 @@
+//! Ad-hoc host-time breakdown for the smoke-grid points: how much of a
+//! point's wall time is program lowering, `System` construction, and
+//! the run itself. Development aid for the hot-path work; not part of
+//! any results pipeline.
+
+use std::time::Instant;
+
+use pmem_spec::System;
+use pmemspec_bench::sweep::lowered_program;
+use pmemspec_engine::SimConfig;
+use pmemspec_isa::DesignKind;
+use pmemspec_workloads::Benchmark;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cfg = SimConfig::asplos21(env_usize("HOTPROF_CORES", 2));
+    let fases = env_usize("HOTPROF_FASES", 25);
+    let seed = 11;
+    let reps = env_usize("HOTPROF_REPS", 1);
+    for _ in 1..reps {
+        for design in DesignKind::ALL_EXTENDED {
+            for benchmark in Benchmark::ALL {
+                let program = lowered_program(benchmark, design, cfg.cores, fases, seed);
+                let sys = System::new(cfg.clone(), program).expect("valid");
+                let _ = sys.run();
+            }
+        }
+    }
+    for design in DesignKind::ALL_EXTENDED {
+        let mut lower_us = 0.0;
+        let mut build_us = 0.0;
+        let mut run_us = 0.0;
+        let mut steps = 0u64;
+        for benchmark in Benchmark::ALL {
+            let t0 = Instant::now();
+            let program = lowered_program(benchmark, design, cfg.cores, fases, seed);
+            let t1 = Instant::now();
+            steps += program.threads().map(|t| t.ops().len() as u64).sum::<u64>();
+            let sys = System::new(cfg.clone(), program).expect("valid");
+            let t2 = Instant::now();
+            let _report = sys.run();
+            let t3 = Instant::now();
+            lower_us += t1.duration_since(t0).as_secs_f64() * 1e6;
+            build_us += t2.duration_since(t1).as_secs_f64() * 1e6;
+            run_us += t3.duration_since(t2).as_secs_f64() * 1e6;
+        }
+        println!(
+            "{design:>12}: lower {lower_us:9.1}us  build {build_us:9.1}us  run {run_us:9.1}us  ({steps} ops)"
+        );
+    }
+}

@@ -15,6 +15,10 @@
 //! * `--trace-dir DIR` — additionally writes one Perfetto trace per
 //!   design (Hashmap workload) with the queue-occupancy counter tracks
 //!   merged in; open in <https://ui.perfetto.dev>.
+//! * `--collapsed` — additionally writes `<out>/breakdown.folded`:
+//!   one `design;benchmark;bucket count` collapsed-stack line per
+//!   non-zero cell, the input format of every flamegraph renderer
+//!   (`flamegraph.pl`, `inferno`, speedscope).
 //!
 //! Points run on the shared worker pool and reduce in spec order, so
 //! the output is byte-identical to `--serial`; CI diffs the two.
@@ -30,12 +34,13 @@ use pmemspec_engine::SimConfig;
 use pmemspec_isa::DesignKind;
 use pmemspec_workloads::Benchmark;
 
-/// `--out DIR` / `--out=DIR` and `--trace-dir DIR` / `--trace-dir=DIR`,
-/// scanned from the raw argument list ([`BenchArgs`] ignores flags it
-/// does not know).
-fn extra_flags() -> (PathBuf, Option<PathBuf>) {
+/// `--out DIR` / `--out=DIR`, `--trace-dir DIR` / `--trace-dir=DIR`,
+/// and `--collapsed`, scanned from the raw argument list ([`BenchArgs`]
+/// ignores flags it does not know).
+fn extra_flags() -> (PathBuf, Option<PathBuf>, bool) {
     let mut out = PathBuf::from("results");
     let mut trace_dir = None;
+    let mut collapsed = false;
     let mut iter = std::env::args().skip(1).peekable();
     while let Some(arg) = iter.next() {
         let mut take = |target: &mut PathBuf| {
@@ -52,6 +57,7 @@ fn extra_flags() -> (PathBuf, Option<PathBuf>) {
                 take(&mut dir);
                 trace_dir = Some(dir);
             }
+            "--collapsed" => collapsed = true,
             _ => {
                 if let Some(v) = arg.strip_prefix("--out=") {
                     out = PathBuf::from(v);
@@ -61,7 +67,7 @@ fn extra_flags() -> (PathBuf, Option<PathBuf>) {
             }
         }
     }
-    (out, trace_dir)
+    (out, trace_dir, collapsed)
 }
 
 /// One profiled grid point, in spec order.
@@ -163,6 +169,31 @@ fn json_doc(cores: usize, seed: u64, points: &[Point]) -> Json {
     ])
 }
 
+/// Collapsed-stack ("folded") rendering of the breakdown: one
+/// `design;benchmark;bucket count` line per non-zero cell, in spec
+/// order. Flamegraph renderers take this directly, so the same cycle
+/// attribution the tables show as percentages becomes an interactive
+/// flame graph with designs as the roots and buckets as the leaves.
+fn folded(points: &[Point]) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    for p in points {
+        for bucket in Bucket::ALL {
+            let count = p.profile.bucket_total(bucket);
+            if count != 0 {
+                let _ = writeln!(
+                    text,
+                    "{};{};{} {count}",
+                    p.design.label(),
+                    p.benchmark.label(),
+                    bucket.label(),
+                );
+            }
+        }
+    }
+    text
+}
+
 fn write_traces(dir: &PathBuf, cores: usize, seed: u64) {
     std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
     let benchmark = Benchmark::Hashmap;
@@ -189,7 +220,7 @@ fn write_traces(dir: &PathBuf, cores: usize, seed: u64) {
 
 fn main() {
     let args = BenchArgs::parse();
-    let (out, trace_dir) = extra_flags();
+    let (out, trace_dir, collapsed) = extra_flags();
     let cores = suite_cores();
     let seed = seeds()[0];
     let cfg = SimConfig::asplos21(cores);
@@ -223,6 +254,12 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", json_path.display()));
     eprintln!("wrote {}", md_path.display());
     eprintln!("wrote {}", json_path.display());
+    if collapsed {
+        let folded_path = out.join("breakdown.folded");
+        std::fs::write(&folded_path, folded(&points))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", folded_path.display()));
+        eprintln!("wrote {}", folded_path.display());
+    }
 
     if let Some(dir) = trace_dir {
         write_traces(&dir, cores, seed);

@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use pmem_spec::{run_program, ProfileReport, RunReport, System};
 use pmemspec_engine::SimConfig;
@@ -414,7 +414,7 @@ type MemoMap<K, V> = Mutex<HashMap<K, std::sync::Arc<OnceLock<V>>>>;
 
 struct Memo {
     generated: MemoMap<GenKey, AbsProgram>,
-    lowered: MemoMap<LowerKey, Program>,
+    lowered: MemoMap<LowerKey, Arc<Program>>,
 }
 
 fn memo() -> &'static Memo {
@@ -480,7 +480,7 @@ pub fn lowered_program(
     threads: usize,
     fases: usize,
     seed: u64,
-) -> Program {
+) -> Arc<Program> {
     let gen = GenKey {
         benchmark,
         threads,
@@ -490,7 +490,7 @@ pub fn lowered_program(
     let key = LowerKey { design, gen };
     let cell = memo_get(&memo().lowered, key, || {
         let abs = generated_program(benchmark, threads, fases, seed);
-        lower_program(design, &abs)
+        Arc::new(lower_program(design, &abs))
     });
     cell.get().expect("initialized above").clone()
 }

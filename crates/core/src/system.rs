@@ -38,11 +38,16 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
+use pmemspec_engine::arena::ArenaFifo;
 use pmemspec_engine::clock::{Cycle, Duration};
 use pmemspec_engine::config::{PmcNetworkOrder, SimConfig};
+use pmemspec_engine::hash::FxHashMap;
+use pmemspec_engine::pagemap::PageMap;
 use pmemspec_engine::stats::Stats;
-use pmemspec_isa::addr::{Addr, LineAddr};
+use pmemspec_engine::wheel::EventWheel;
+use pmemspec_isa::addr::{Addr, LineAddr, LINE_BYTES, PM_BASE, WORD_BYTES};
 use pmemspec_isa::{DesignKind, LockId, Op, Program, ValueSrc};
 use pmemspec_mem::hierarchy::{AccessKind, CacheHierarchy, ServedFrom};
 use pmemspec_mem::pmc::controller_for;
@@ -67,6 +72,172 @@ fn prof(profiler: &mut Option<Profiler>, idx: usize, bucket: Bucket, until: Cycl
         p.to(idx, bucket, until);
     }
 }
+
+/// One hot-path run counter. Incrementing a counter is a single array
+/// add on a dense `[u64; Counter::COUNT]` indexed by discriminant; the
+/// string-keyed [`Stats`] map is only populated once, at report time,
+/// from the nonzero slots — first-touch key insertion semantics are
+/// preserved because a key appears iff its counter was ever bumped.
+#[derive(Debug, Clone, Copy)]
+#[repr(usize)]
+enum Counter {
+    MisspecLoadDetected,
+    MisspecStoreDetected,
+    SpecBufferOverflow,
+    PmcWritebackNotices,
+    GroundTruthStaleReads,
+    WhisperRawWithinSpecWindow,
+    WhisperRawWithin50us,
+    GroundTruthPersistOrderViolations,
+    GroundTruthPersistInversions,
+    WhisperWawWithinSpecWindow,
+    WhisperWawWithin50us,
+    PmcEvictionWritebacks,
+    PmcEvictionsDropped,
+    MemL1,
+    MemPeerL1,
+    MemLlc,
+    MemDram,
+    MemPm,
+    CoreSqFullStalls,
+    CoreMshrFullStalls,
+    FasePartialAborts,
+    FaseAborted,
+    FaseQuiescedRetries,
+    PmcFetches,
+    HopsBloomLookups,
+    HopsBloomConflicts,
+    HopsBloomFalsePositives,
+    DpoBufferFullStalls,
+    HopsBufferFullStalls,
+    StrandBufferFullStalls,
+    PmcClwbWritebacks,
+    X86Sfences,
+    DpoBarrierDrains,
+    HopsOfences,
+    HopsDfences,
+    SpecBarriers,
+    StrandNew,
+    StrandBarriers,
+    StrandJoins,
+    LockAcquires,
+    LockContended,
+    FaseCheckpoints,
+    FaseCommitted,
+}
+
+impl Counter {
+    const COUNT: usize = Counter::FaseCommitted as usize + 1;
+
+    /// Stats key per counter, in discriminant order.
+    const KEYS: [&'static str; Counter::COUNT] = [
+        "misspec.load_detected",
+        "misspec.store_detected",
+        "spec_buffer.overflow",
+        "pmc.writeback_notices",
+        "ground_truth.stale_reads",
+        "whisper.raw_within_spec_window",
+        "whisper.raw_within_50us",
+        "ground_truth.persist_order_violations",
+        "ground_truth.persist_inversions",
+        "whisper.waw_within_spec_window",
+        "whisper.waw_within_50us",
+        "pmc.eviction_writebacks",
+        "pmc.evictions_dropped",
+        "mem.l1",
+        "mem.peer_l1",
+        "mem.llc",
+        "mem.dram",
+        "mem.pm",
+        "core.sq_full_stalls",
+        "core.mshr_full_stalls",
+        "fase.partial_aborts",
+        "fase.aborted",
+        "fase.quiesced_retries",
+        "pmc.fetches",
+        "hops.bloom_lookups",
+        "hops.bloom_conflicts",
+        "hops.bloom_false_positives",
+        "dpo.buffer_full_stalls",
+        "hops.buffer_full_stalls",
+        "strand.buffer_full_stalls",
+        "pmc.clwb_writebacks",
+        "x86.sfences",
+        "dpo.barrier_drains",
+        "hops.ofences",
+        "hops.dfences",
+        "spec.barriers",
+        "strand.new",
+        "strand.barriers",
+        "strand.joins",
+        "lock.acquires",
+        "lock.contended",
+        "fase.checkpoints",
+        "fase.committed",
+    ];
+}
+
+/// Bumps one dense counter.
+///
+/// A free function over the counter array (like [`prof`]) so call sites
+/// inside `match &mut self.machinery` arms borrow only this one field.
+#[inline]
+fn bump(counters: &mut [u64; Counter::COUNT], c: Counter) {
+    counters[c as usize] += 1;
+}
+
+/// Words per cache line (the width of [`LineMeta::commits`]).
+const WORDS_PER_LINE: usize = (LINE_BYTES / WORD_BYTES) as usize;
+
+/// Dense index of a PM line for the ground-truth [`PageMap`] tables.
+#[inline]
+fn pm_line_index(line: LineAddr) -> u64 {
+    debug_assert!(
+        line.raw() >= PM_BASE / LINE_BYTES,
+        "ground-truth tables index PM lines only"
+    );
+    line.raw() - PM_BASE / LINE_BYTES
+}
+
+/// Per-PM-line ground truth, one record per [`pm_line_index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LineMeta {
+    /// Core of the last applied persist (`u32::MAX` = none yet), for the
+    /// WHISPER-style inter-thread dependency census (§8.4 cites "almost
+    /// zero inter-thread dependencies in a 50 micro-second window").
+    last_core: u32,
+    /// Device time of that last persist.
+    last_at: Cycle,
+    /// Persists still in flight to the device.
+    pending: u32,
+    /// True while the line's dirty data was dropped on LLC eviction with
+    /// persists still in flight — fetching it from PM returns truly
+    /// stale data (the Figure 3 hazard). Write-allocate fetches of lines
+    /// still covered by the caches are benign (Figure 4/6b), so they are
+    /// never flagged here.
+    dropped: bool,
+    /// HOPS only — ground truth behind the bloom filter: pending persist
+    /// count (zero = no entry) and the latest acceptance time.
+    hops_pending: u32,
+    hops_accept: Cycle,
+    /// Commit stamp of the last persist applied to each of the line's
+    /// eight words (`Cycle::MAX` = never persisted); out-of-order
+    /// arrival to one word is a missed update. Kept inside the line
+    /// record so the persist-arrival handler does one page walk, not
+    /// one per table.
+    commits: [Cycle; WORDS_PER_LINE],
+}
+
+/// The [`PageMap`] sentinel for lines never persisted to.
+const EMPTY_LINE_META: LineMeta = LineMeta {
+    last_core: u32::MAX,
+    last_at: Cycle::ZERO,
+    pending: 0,
+    dropped: false,
+    hops_pending: 0,
+    hops_accept: Cycle::ZERO,
+    commits: [Cycle::MAX; WORDS_PER_LINE],
+};
 
 /// DRAM offset where lock cache lines are allocated.
 const LOCK_REGION_BASE: u64 = 1 << 30;
@@ -183,11 +354,13 @@ struct CoreState {
     /// Completion times of outstanding store-queue entries (stores and,
     /// on IntelX86, CLWBs), FIFO, each tagged with what occupies the
     /// slot. Timing reads only the completion time; the tag exists so
-    /// the profiler can name what a drain waited on.
-    sq: VecDeque<(Cycle, SqKind)>,
+    /// the profiler can name what a drain waited on. Arena-backed: the
+    /// queue is bounded by the configured store-queue depth, so entries
+    /// live in one flat ring with no per-entry allocation.
+    sq: ArenaFifo<SqKind>,
     /// Completion times of in-flight loads (MSHRs), FIFO, each tagged
     /// with the level that served it (profiler-only, like `sq`).
-    loads: VecDeque<(Cycle, Bucket)>,
+    loads: ArenaFifo<Bucket>,
     in_fase: bool,
     fase_start_pc: usize,
     fase_start_time: Cycle,
@@ -217,13 +390,13 @@ struct CoreState {
 }
 
 impl CoreState {
-    fn new() -> Self {
+    fn new(store_queue: usize) -> Self {
         CoreState {
             pc: 0,
             time: Cycle::ZERO,
             status: CoreStatus::Runnable,
-            sq: VecDeque::new(),
-            loads: VecDeque::new(),
+            sq: ArenaFifo::new(store_queue),
+            loads: ArenaFifo::new(MAX_OUTSTANDING_LOADS),
             in_fase: false,
             fase_start_pc: 0,
             fase_start_time: Cycle::ZERO,
@@ -297,6 +470,64 @@ impl PartialOrd for PmcEvent {
     }
 }
 
+/// The PM-controller event scheduler.
+///
+/// The default is a calendar wheel ([`EventWheel`]): event horizons here
+/// are at most a few thousand cycles (the largest latency in the model
+/// is the 500 ns trap), so nearly every event lands in the wheel's
+/// one-cycle ring buckets and push/pop are O(1). The original binary
+/// heap is kept as a selectable reference implementation; both pop in
+/// exactly (time, arrival-order) order, so every run result is
+/// identical — the equivalence suite proves it by running whole
+/// programs on each and comparing reports.
+#[derive(Debug)]
+enum EventQueue {
+    Wheel(EventWheel<PmcEventKind>),
+    Heap {
+        heap: BinaryHeap<Reverse<PmcEvent>>,
+        seq: u64,
+    },
+}
+
+impl EventQueue {
+    fn push(&mut self, time: Cycle, kind: PmcEventKind) {
+        match self {
+            EventQueue::Wheel(w) => w.push(time, kind),
+            EventQueue::Heap { heap, seq } => {
+                *seq += 1;
+                heap.push(Reverse(PmcEvent {
+                    time,
+                    seq: *seq,
+                    kind,
+                }));
+            }
+        }
+    }
+
+    /// Pops the earliest event not after `now`.
+    fn pop_next(&mut self, now: Cycle) -> Option<(Cycle, PmcEventKind)> {
+        match self {
+            EventQueue::Wheel(w) => w.pop_next(now),
+            EventQueue::Heap { heap, .. } => {
+                if heap.peek().is_some_and(|Reverse(e)| e.time <= now) {
+                    let Reverse(e) = heap.pop().expect("peeked");
+                    Some((e.time, e.kind))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Timestamp of the earliest pending event.
+    fn next_time(&mut self) -> Option<Cycle> {
+        match self {
+            EventQueue::Wheel(w) => w.next_time(),
+            EventQueue::Heap { heap, .. } => heap.peek().map(|Reverse(e)| e.time),
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Machinery {
     IntelX86,
@@ -308,9 +539,8 @@ enum Machinery {
     Hops {
         buffers: Vec<EpochPersistBuffer>,
         bloom: CountingBloom,
-        /// Ground truth behind the bloom filter: per line, (pending
-        /// persist count, latest acceptance time).
-        pending: HashMap<LineAddr, (u32, Cycle)>,
+        // The ground truth behind the bloom filter lives in the
+        // [`System::line_meta`] records (`hops_pending`/`hops_accept`).
     },
     PmemSpec {
         /// Per core, one FIFO route (order-preserving network) or one per
@@ -343,21 +573,34 @@ pub struct CrashOutcome {
 #[derive(Debug)]
 pub struct System {
     cfg: SimConfig,
-    program: Program,
+    program: Arc<Program>,
     hierarchy: CacheHierarchy,
     /// One controller per line-interleaved PM channel (one by default).
     pmcs: Vec<PmController>,
     dram: Dram,
     image: MemoryImage,
     cores: Vec<CoreState>,
-    locks: HashMap<LockId, LockState>,
+    /// Bit `i` set while core `i` is runnable: the scheduler scan walks
+    /// set bits only, so cores parked on locks or finished threads cost
+    /// nothing per step.
+    runnable: u64,
+    locks: FxHashMap<LockId, LockState>,
     machinery: Machinery,
-    events: BinaryHeap<Reverse<PmcEvent>>,
-    event_seq: u64,
+    events: EventQueue,
+    /// Lower bound on the earliest pending event (exact after each
+    /// drain): `drain_events` is called before every instruction and
+    /// almost always finds nothing ready, so the common case must be a
+    /// single comparison.
+    events_next: Cycle,
     /// Global pause set by speculation-buffer overflow.
     stall_until: Cycle,
     policy: RecoveryPolicy,
     stats: Stats,
+    /// Dense hot-path counters, folded into `stats` at report time.
+    counters: [u64; Counter::COUNT],
+    /// `PMEMSPEC_DEBUG_DETECT`, read once at construction instead of
+    /// per controller event.
+    debug_detect: bool,
     // Ground truth.
     stale_reads: u64,
     inversions: u64,
@@ -365,18 +608,10 @@ pub struct System {
     /// with an unordered multi-controller network).
     persist_order_violations: u64,
     last_core_persist_applied: Vec<Cycle>,
-    /// Per line: the core and arrival time of the last persist, for the
-    /// WHISPER-style inter-thread dependency census (§8.4 cites "almost
-    /// zero inter-thread dependencies in a 50 micro-second window").
-    last_line_persist: HashMap<LineAddr, (usize, Cycle)>,
-    last_persist_commit: HashMap<Addr, Cycle>,
-    pending_line_persists: HashMap<LineAddr, u32>,
-    /// Lines whose dirty data was dropped on LLC eviction while persists
-    /// were still in flight: fetching one of these from PM returns truly
-    /// stale data (the Figure 3 hazard). Write-allocate fetches of lines
-    /// still covered by the caches are benign (Figure 4/6b), so they are
-    /// never in this set.
-    dropped_pending: std::collections::HashSet<LineAddr>,
+    /// Per-PM-line ground truth ([`LineMeta`]), keyed by
+    /// [`pm_line_index`]. Merged into one paged array so each persist
+    /// arrival pays a single page walk for all its per-line state.
+    line_meta: PageMap<LineMeta>,
     /// Optional execution trace (Chrome trace export).
     tracer: Option<TraceRecorder>,
     /// Optional cycle accounting + occupancy sampling. Observes only:
@@ -396,7 +631,7 @@ impl System {
     ///
     /// Returns [`BuildSystemError`] when the configuration or program is
     /// invalid, or their thread/core counts disagree.
-    pub fn new(cfg: SimConfig, program: Program) -> Result<Self, BuildSystemError> {
+    pub fn new(cfg: SimConfig, program: impl Into<Arc<Program>>) -> Result<Self, BuildSystemError> {
         Self::with_options(
             cfg,
             program,
@@ -413,10 +648,11 @@ impl System {
     /// Same as [`System::new`].
     pub fn with_options(
         cfg: SimConfig,
-        program: Program,
+        program: impl Into<Arc<Program>>,
         policy: RecoveryPolicy,
         detection: DetectionMode,
     ) -> Result<Self, BuildSystemError> {
+        let program: Arc<Program> = program.into();
         cfg.validate().map_err(BuildSystemError::Config)?;
         program
             .validate()
@@ -458,7 +694,6 @@ impl System {
                         })
                         .collect(),
                     bloom: CountingBloom::new(HOPS_BLOOM_SLOTS),
-                    pending: HashMap::new(),
                 }
             }
             DesignKind::StrandWeaver => {
@@ -505,7 +740,10 @@ impl System {
                 }
             }
         };
-        let cores = (0..cfg.cores).map(|_| CoreState::new()).collect();
+        assert!(cfg.cores <= 64, "runnable bitmap holds at most 64 cores");
+        let cores = (0..cfg.cores)
+            .map(|_| CoreState::new(cfg.store_queue))
+            .collect();
         Ok(System {
             pmcs: (0..cfg.pm.controllers)
                 .map(|_| PmController::new(&cfg.pm))
@@ -514,21 +752,25 @@ impl System {
             hierarchy,
             image: MemoryImage::new(),
             cores,
-            locks: HashMap::new(),
+            runnable: if cfg.cores == 64 {
+                u64::MAX
+            } else {
+                (1u64 << cfg.cores) - 1
+            },
+            locks: FxHashMap::default(),
             machinery,
-            events: BinaryHeap::new(),
-            event_seq: 0,
+            events: EventQueue::Wheel(EventWheel::new()),
+            events_next: Cycle::MAX,
             stall_until: Cycle::ZERO,
             policy,
             stats: Stats::new(),
+            counters: [0; Counter::COUNT],
+            debug_detect: std::env::var_os("PMEMSPEC_DEBUG_DETECT").is_some(),
             stale_reads: 0,
             inversions: 0,
             persist_order_violations: 0,
             last_core_persist_applied: vec![Cycle::ZERO; cfg.cores],
-            last_line_persist: HashMap::new(),
-            last_persist_commit: HashMap::new(),
-            pending_line_persists: HashMap::new(),
-            dropped_pending: std::collections::HashSet::new(),
+            line_meta: PageMap::new(EMPTY_LINE_META),
             tracer: None,
             profiler: None,
             boundary_log: None,
@@ -537,22 +779,41 @@ impl System {
         })
     }
 
+    /// Switches the event scheduler to the original binary-heap
+    /// implementation. The calendar wheel must pop in exactly the same
+    /// (time, arrival) order, so every run result is identical with
+    /// either scheduler; this reference path exists so the equivalence
+    /// suite can prove that on whole programs.
+    pub fn with_reference_scheduler(mut self) -> Self {
+        assert!(
+            self.events.next_time().is_none(),
+            "scheduler swapped after events were queued"
+        );
+        self.events = EventQueue::Heap {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        };
+        self
+    }
+
     fn push_event(&mut self, time: Cycle, kind: PmcEventKind) {
-        self.event_seq += 1;
-        self.events.push(Reverse(PmcEvent {
-            time,
-            seq: self.event_seq,
-            kind,
-        }));
+        self.events.push(time, kind);
+        self.events_next = self.events_next.min(time);
     }
 
     /// The index of the runnable core with the earliest local time.
+    #[inline]
     fn next_core(&self) -> Option<usize> {
         let mut best: Option<usize> = None;
-        for (i, c) in self.cores.iter().enumerate() {
-            if c.status == CoreStatus::Runnable && best.is_none_or(|b| c.time < self.cores[b].time)
-            {
+        let mut best_time = Cycle::MAX;
+        let mut mask = self.runnable;
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let t = self.cores[i].time;
+            if best.is_none() || t < best_time {
                 best = Some(i);
+                best_time = t;
             }
         }
         if best.is_none() {
@@ -567,6 +828,27 @@ impl System {
             );
         }
         best
+    }
+
+    /// [`System::next_core`], plus the earliest local time among the
+    /// *other* runnable cores (`Cycle::MAX` when the winner is alone).
+    /// The dense run loop keeps stepping the winner while its time stays
+    /// strictly below that margin — the schedule cannot prefer anyone
+    /// else until then, so the full rescan is skipped.
+    #[inline]
+    fn next_core_with_margin(&self) -> Option<(usize, Cycle)> {
+        let best = self.next_core()?;
+        let mut others_min = Cycle::MAX;
+        let mut mask = self.runnable & !(1 << best);
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let t = self.cores[i].time;
+            if t < others_min {
+                others_min = t;
+            }
+        }
+        Some((best, others_min))
     }
 
     /// Raises misspeculation-recovery flags on every core currently inside
@@ -587,10 +869,10 @@ impl System {
         for d in detections {
             match d {
                 Detection::LoadMisspec { at, line } => {
-                    if std::env::var_os("PMEMSPEC_DEBUG_DETECT").is_some() {
+                    if self.debug_detect {
                         eprintln!("load-misspec: {line} at {at}");
                     }
-                    self.stats.incr("misspec.load_detected");
+                    bump(&mut self.counters, Counter::MisspecLoadDetected);
                     self.trigger_misspec(at);
                 }
                 Detection::StoreMisspec {
@@ -599,12 +881,12 @@ impl System {
                     prev_id,
                     new_id,
                 } => {
-                    if std::env::var_os("PMEMSPEC_DEBUG_DETECT").is_some() {
+                    if self.debug_detect {
                         eprintln!(
                             "store-misspec: line {line} at {at}: prev_id {prev_id} new_id {new_id}"
                         );
                     }
-                    self.stats.incr("misspec.store_detected");
+                    bump(&mut self.counters, Counter::MisspecStoreDetected);
                     self.trigger_misspec(at);
                 }
             }
@@ -614,72 +896,81 @@ impl System {
     fn note_overflow(&mut self, stall: Option<crate::spec_buffer::OverflowStall>) {
         if let Some(s) = stall {
             self.stall_until = self.stall_until.max(s.until);
-            self.stats.incr("spec_buffer.overflow");
+            bump(&mut self.counters, Counter::SpecBufferOverflow);
         }
     }
 
     /// Applies every PM-controller event with timestamp ≤ `now`, in
     /// arrival order: persistence lands in the persistent image, and the
     /// speculation buffer sees the request stream.
+    #[inline]
     fn drain_events(&mut self, now: Cycle) {
-        while self.events.peek().is_some_and(|Reverse(e)| e.time <= now) {
-            let Reverse(event) = self.events.pop().expect("peeked");
+        // Called before every instruction and almost always a no-op:
+        // `events_next` is a lower bound on the earliest pending event,
+        // so the common case is this one comparison, inlined into the
+        // run loop; the drain itself stays out of line.
+        if self.events_next > now {
+            return;
+        }
+        self.drain_ready_events(now);
+    }
+
+    fn drain_ready_events(&mut self, now: Cycle) {
+        while let Some((time, kind)) = self.events.pop_next(now) {
             if let Some(log) = &mut self.boundary_log {
                 // Persist arrivals are exactly the instants where the
                 // crash-visible image changes.
                 if matches!(
-                    event.kind,
+                    kind,
                     PmcEventKind::PersistWord { .. } | PmcEventKind::PersistLine { .. }
                 ) {
-                    log.push(event.time);
+                    log.push(time);
                 }
             }
-            match event.kind {
+            match kind {
                 PmcEventKind::WriteBack { line } => {
-                    if std::env::var_os("PMEMSPEC_DEBUG_DETECT").is_some() {
-                        eprintln!("WB {line} at {}", event.time);
+                    if self.debug_detect {
+                        eprintln!("WB {line} at {time}");
                     }
-                    self.stats.incr("pmc.writeback_notices");
+                    bump(&mut self.counters, Counter::PmcWritebackNotices);
                     if let Some(tr) = &mut self.tracer {
-                        tr.instant("WB", event.time);
+                        tr.instant("WB", time);
                     }
                     let n = self.pmcs.len();
                     if let Machinery::PmemSpec { spec, .. } = &mut self.machinery {
-                        let stall =
-                            spec[controller_for(line.raw(), n)].on_writeback(line, event.time);
+                        let stall = spec[controller_for(line.raw(), n)].on_writeback(line, time);
                         self.note_overflow(stall);
                     }
                 }
                 PmcEventKind::Read { line } => {
-                    if std::env::var_os("PMEMSPEC_DEBUG_DETECT").is_some() {
-                        eprintln!("RD {line} at {}", event.time);
+                    if self.debug_detect {
+                        eprintln!("RD {line} at {time}");
                     }
+                    let meta = self.line_meta.get(pm_line_index(line));
                     if matches!(self.machinery, Machinery::PmemSpec { .. }) {
                         // Ground truth: the fetch returns truly stale data
                         // only when the line's dirty copy was dropped on
                         // eviction and its persist has not landed yet
                         // (Figure 3).
-                        if self.dropped_pending.contains(&line)
-                            && line.words().any(|w| self.image.is_stale(w))
-                        {
+                        if meta.dropped && line.words().any(|w| self.image.is_stale(w)) {
                             self.stale_reads += 1;
-                            self.stats.incr("ground_truth.stale_reads");
+                            bump(&mut self.counters, Counter::GroundTruthStaleReads);
                         }
                     }
                     // Inter-thread RAW census: a PM fetch of a line another
                     // core persisted recently.
-                    if let Some(&(_, prev_at)) = self.last_line_persist.get(&line) {
-                        let gap = event.time.saturating_since(prev_at);
+                    if meta.last_core != u32::MAX {
+                        let gap = time.saturating_since(meta.last_at);
                         if gap <= self.cfg.speculation_window() {
-                            self.stats.incr("whisper.raw_within_spec_window");
+                            bump(&mut self.counters, Counter::WhisperRawWithinSpecWindow);
                         }
                         if gap <= Duration::from_ns(50_000) {
-                            self.stats.incr("whisper.raw_within_50us");
+                            bump(&mut self.counters, Counter::WhisperRawWithin50us);
                         }
                     }
                     let n = self.pmcs.len();
                     if let Machinery::PmemSpec { spec, .. } = &mut self.machinery {
-                        let stall = spec[controller_for(line.raw(), n)].on_read(line, event.time);
+                        let stall = spec[controller_for(line.raw(), n)].on_read(line, time);
                         self.note_overflow(stall);
                     }
                 }
@@ -696,60 +987,60 @@ impl System {
                     // here with an unordered multi-controller network).
                     if commit < self.last_core_persist_applied[core] {
                         self.persist_order_violations += 1;
-                        self.stats.incr("ground_truth.persist_order_violations");
+                        bump(
+                            &mut self.counters,
+                            Counter::GroundTruthPersistOrderViolations,
+                        );
                     } else {
                         self.last_core_persist_applied[core] = commit;
                     }
+                    let line = addr.line();
+                    let line_idx = pm_line_index(line);
+                    let meta = self.line_meta.get_mut(line_idx);
                     // Ground truth: persists to one word must apply in
                     // commit order, or an update goes missing.
-                    let line = addr.line();
-                    if let Some(&prev) = self.last_persist_commit.get(&addr) {
-                        if commit < prev {
-                            self.inversions += 1;
-                            self.stats.incr("ground_truth.persist_inversions");
-                        }
+                    let commit_slot = &mut meta.commits[addr.word_in_line()];
+                    if *commit_slot != Cycle::MAX && commit < *commit_slot {
+                        self.inversions += 1;
+                        bump(&mut self.counters, Counter::GroundTruthPersistInversions);
+                    } else {
+                        *commit_slot = commit;
                     }
-                    let entry = self.last_persist_commit.entry(addr).or_insert(commit);
-                    *entry = (*entry).max(commit);
                     // Inter-thread WAW census: a persist to a line another
                     // core persisted recently (§8.4 / WHISPER).
-                    if let Some(&(prev_core, prev_at)) = self.last_line_persist.get(&line) {
-                        if prev_core != core {
-                            let gap = event.time.saturating_since(prev_at);
-                            if gap <= self.cfg.speculation_window() {
-                                self.stats.incr("whisper.waw_within_spec_window");
-                            }
-                            if gap <= Duration::from_ns(50_000) {
-                                self.stats.incr("whisper.waw_within_50us");
-                            }
+                    if meta.last_core != u32::MAX && meta.last_core as usize != core {
+                        let gap = time.saturating_since(meta.last_at);
+                        if gap <= self.cfg.speculation_window() {
+                            bump(&mut self.counters, Counter::WhisperWawWithinSpecWindow);
+                        }
+                        if gap <= Duration::from_ns(50_000) {
+                            bump(&mut self.counters, Counter::WhisperWawWithin50us);
                         }
                     }
-                    self.last_line_persist.insert(line, (core, event.time));
-                    self.image.persist_word(addr, value);
-                    if let Some(n) = self.pending_line_persists.get_mut(&line) {
-                        *n = n.saturating_sub(1);
-                        if *n == 0 {
-                            self.pending_line_persists.remove(&line);
+                    meta.last_core = core as u32;
+                    meta.last_at = time;
+                    if meta.pending > 0 {
+                        meta.pending -= 1;
+                        if meta.pending == 0 {
                             // The device caught up: fetches are fresh again.
-                            self.dropped_pending.remove(&line);
+                            meta.dropped = false;
                         }
                     }
+                    let hops_drain = meta.hops_pending > 0;
+                    if hops_drain {
+                        meta.hops_pending -= 1;
+                    }
+                    self.image.persist_word(addr, value);
                     let n = self.pmcs.len();
                     match &mut self.machinery {
                         Machinery::PmemSpec { spec, .. } => {
-                            let (detections, stall) = spec[controller_for(line.raw(), n)]
-                                .on_persist(line, spec_id, event.time);
+                            let (detections, stall) =
+                                spec[controller_for(line.raw(), n)].on_persist(line, spec_id, time);
                             self.note_overflow(stall);
                             self.handle_detections(detections);
                         }
-                        Machinery::Hops { bloom, pending, .. } => {
-                            if let Some((n, _)) = pending.get_mut(&line) {
-                                *n -= 1;
-                                bloom.remove(line.raw());
-                                if *n == 0 {
-                                    pending.remove(&line);
-                                }
-                            }
+                        Machinery::Hops { bloom, .. } if hops_drain => {
+                            bloom.remove(line.raw());
                         }
                         _ => {}
                     }
@@ -759,11 +1050,21 @@ impl System {
                 }
             }
         }
+        self.events_next = self.events.next_time().unwrap_or(Cycle::MAX);
     }
 
     /// Routes a dirty-PM-line LLC eviction per the active design.
-    fn handle_evictions(&mut self, evictions: Vec<pmemspec_mem::EvictedLine>) {
-        for ev in evictions {
+    /// Most accesses evict nothing: the `None` test inlines at the call
+    /// site and the routing body stays out of line.
+    #[inline]
+    fn handle_evictions(&mut self, evictions: Option<pmemspec_mem::EvictedLine>) {
+        if let Some(ev) = evictions {
+            self.handle_eviction(ev);
+        }
+    }
+
+    fn handle_eviction(&mut self, ev: pmemspec_mem::EvictedLine) {
+        {
             let arrival = ev.at + self.cfg.llc_to_pmc_latency;
             match self.machinery {
                 Machinery::IntelX86 => {
@@ -771,11 +1072,11 @@ impl System {
                     let ci = controller_for(ev.line.raw(), self.pmcs.len());
                     let svc = self.pmcs[ci].write(arrival);
                     self.push_event(svc.accepted, PmcEventKind::PersistLine { line: ev.line });
-                    self.stats.incr("pmc.eviction_writebacks");
+                    bump(&mut self.counters, Counter::PmcEvictionWritebacks);
                 }
                 Machinery::Dpo { .. } | Machinery::Hops { .. } => {
                     // Persist buffers own persistence; the eviction drops.
-                    self.stats.incr("pmc.evictions_dropped");
+                    bump(&mut self.counters, Counter::PmcEvictionsDropped);
                 }
                 Machinery::StrandWeaver { .. } => {
                     // StrandWeaver writes dirty blocks back before letting
@@ -783,23 +1084,18 @@ impl System {
                     let ci = controller_for(ev.line.raw(), self.pmcs.len());
                     let svc = self.pmcs[ci].write(arrival);
                     self.push_event(svc.accepted, PmcEventKind::PersistLine { line: ev.line });
-                    self.stats.incr("pmc.eviction_writebacks");
+                    bump(&mut self.counters, Counter::PmcEvictionWritebacks);
                 }
                 Machinery::PmemSpec { .. } => {
                     // Dropped, but the controller is notified so the
                     // speculation buffer can start monitoring (§5.1.4).
                     self.push_event(arrival, PmcEventKind::WriteBack { line: ev.line });
-                    self.stats.incr("pmc.evictions_dropped");
+                    bump(&mut self.counters, Counter::PmcEvictionsDropped);
                     // Ground truth: dropped dirty data whose persist is
                     // still in flight makes a PM fetch of this line stale.
-                    if self
-                        .pending_line_persists
-                        .get(&ev.line)
-                        .copied()
-                        .unwrap_or(0)
-                        > 0
-                    {
-                        self.dropped_pending.insert(ev.line);
+                    let meta = self.line_meta.get_mut(pm_line_index(ev.line));
+                    if meta.pending > 0 {
+                        meta.dropped = true;
                     }
                 }
             }
@@ -818,28 +1114,24 @@ impl System {
     }
 
     fn record_access(&mut self, served: ServedFrom) {
-        let key = match served {
-            ServedFrom::L1 => "mem.l1",
-            ServedFrom::PeerL1 => "mem.peer_l1",
-            ServedFrom::Llc => "mem.llc",
-            ServedFrom::Dram => "mem.dram",
-            ServedFrom::Pm => "mem.pm",
+        let c = match served {
+            ServedFrom::L1 => Counter::MemL1,
+            ServedFrom::PeerL1 => Counter::MemPeerL1,
+            ServedFrom::Llc => Counter::MemLlc,
+            ServedFrom::Dram => Counter::MemDram,
+            ServedFrom::Pm => Counter::MemPm,
         };
-        self.stats.incr(key);
+        bump(&mut self.counters, c);
     }
 
     /// Admits one entry into the core's store queue at `now`, stalling on
     /// a full queue. Returns the admission time.
     fn sq_admit(&mut self, idx: usize, now: Cycle) -> Cycle {
-        let cap = self.cfg.store_queue;
         let core = &mut self.cores[idx];
-        while core.sq.front().is_some_and(|&(d, _)| d <= now) {
-            core.sq.pop_front();
-        }
-        if core.sq.len() >= cap {
-            self.stats.incr("core.sq_full_stalls");
-            let core = &mut self.cores[idx];
-            let (oldest, _) = core.sq.pop_front().expect("full queue non-empty");
+        while core.sq.pop_ready(now).is_some() {}
+        if core.sq.is_full() {
+            bump(&mut self.counters, Counter::CoreSqFullStalls);
+            let oldest = core.sq.pop().expect("full queue non-empty").ready;
             let admitted = oldest.max(now);
             prof(&mut self.profiler, idx, Bucket::SqFull, admitted);
             admitted
@@ -852,16 +1144,14 @@ impl System {
     /// are busy. Returns the issue time.
     fn load_admit(&mut self, idx: usize, now: Cycle) -> Cycle {
         let core = &mut self.cores[idx];
-        while core.loads.front().is_some_and(|&(d, _)| d <= now) {
-            core.loads.pop_front();
-        }
-        if core.loads.len() >= MAX_OUTSTANDING_LOADS {
-            self.stats.incr("core.mshr_full_stalls");
-            let (oldest, bucket) = self.cores[idx].loads.pop_front().expect("full queue");
-            let issue = oldest.max(now);
+        while core.loads.pop_ready(now).is_some() {}
+        if core.loads.is_full() {
+            bump(&mut self.counters, Counter::CoreMshrFullStalls);
+            let oldest = core.loads.pop().expect("full queue");
+            let issue = oldest.ready.max(now);
             // The stall waits out the oldest in-flight load: charge the
             // level that is serving it.
-            prof(&mut self.profiler, idx, bucket, issue);
+            prof(&mut self.profiler, idx, oldest.value, issue);
             issue
         } else {
             now
@@ -873,12 +1163,12 @@ impl System {
     /// serving the slowest load.
     fn join_loads(&mut self, idx: usize, now: Cycle) -> Cycle {
         let core = &mut self.cores[idx];
-        let slowest = core.loads.iter().max_by_key(|&&(d, _)| d).copied();
+        let slowest = core.loads.iter().max_by_key(|e| e.ready).copied();
         core.loads.clear();
-        let done = slowest.map_or(now, |(d, _)| d).max(now);
-        if let Some((d, bucket)) = slowest {
-            if d > now {
-                prof(&mut self.profiler, idx, bucket, d);
+        let done = slowest.map_or(now, |e| e.ready).max(now);
+        if let Some(e) = slowest {
+            if e.ready > now {
+                prof(&mut self.profiler, idx, e.value, e.ready);
             }
         }
         done
@@ -923,7 +1213,7 @@ impl System {
                 let route = ci % paths[idx].len();
                 paths[idx][route].note_backpressure(svc.accepted);
             }
-            *self.pending_line_persists.entry(line).or_insert(0) += 1;
+            self.line_meta.get_mut(pm_line_index(line)).pending += 1;
             self.push_event(
                 svc.accepted,
                 PmcEventKind::PersistWord {
@@ -956,12 +1246,12 @@ impl System {
         match ck {
             Some((pc, _, _)) => {
                 core.pc = pc;
-                self.stats.incr("fase.partial_aborts");
+                bump(&mut self.counters, Counter::FasePartialAborts);
             }
             None => core.pc = core.fase_start_pc,
         }
         core.time = t;
-        self.stats.incr("fase.aborted");
+        bump(&mut self.counters, Counter::FaseAborted);
         // A FASE that keeps misspeculating is retried non-speculatively:
         // the runtime quiesces the persist path (plus one speculation
         // window) before re-executing, so the retry observes a settled
@@ -976,7 +1266,7 @@ impl System {
                     + self.cfg.speculation_window();
                 self.cores[idx].time = drained;
                 self.cores[idx].nonspec_retry = true;
-                self.stats.incr("fase.quiesced_retries");
+                bump(&mut self.counters, Counter::FaseQuiescedRetries);
             }
         }
         // Everything the abort consumed — trap, undo-log restoration
@@ -997,6 +1287,7 @@ impl System {
             lock.free_at = lock.free_at.max(at);
             let waiter = &mut self.cores[next];
             waiter.status = CoreStatus::Runnable;
+            self.runnable |= 1 << next;
             waiter.time = waiter.time.max(at);
             let granted_at = waiter.time;
             // The waiter was parked since its Lock instruction: that
@@ -1014,6 +1305,7 @@ impl System {
         let thread = self.program.thread(idx);
         let Some(&op) = thread.ops().get(self.cores[idx].pc) else {
             self.cores[idx].status = CoreStatus::Done;
+            self.runnable &= !(1 << idx);
             return;
         };
         let t = self.cores[idx].time;
@@ -1043,21 +1335,22 @@ impl System {
                 let load_bucket = served_bucket(out.served_from);
                 let mut completed = out.completed;
                 if let Some(fetch) = out.pm_fetch {
-                    self.stats.incr("pmc.fetches");
+                    bump(&mut self.counters, Counter::PmcFetches);
                     match &mut self.machinery {
-                        Machinery::Hops { bloom, pending, .. } => {
+                        Machinery::Hops { bloom, .. } => {
                             // Every PM read consults the filter (§8.2.2).
                             completed += HOPS_BLOOM_LOOKUP;
-                            self.stats.incr("hops.bloom_lookups");
+                            bump(&mut self.counters, Counter::HopsBloomLookups);
                             if bloom.might_contain(line.raw()) {
-                                if let Some(&(_, accept)) = pending.get(&line) {
+                                let meta = self.line_meta.get(pm_line_index(line));
+                                if meta.hops_pending > 0 {
                                     // Real conflict: wait for the pending
                                     // persist to drain.
-                                    completed = completed.max(accept + HOPS_BLOOM_LOOKUP);
-                                    self.stats.incr("hops.bloom_conflicts");
+                                    completed = completed.max(meta.hops_accept + HOPS_BLOOM_LOOKUP);
+                                    bump(&mut self.counters, Counter::HopsBloomConflicts);
                                 } else {
                                     completed += HOPS_FALSE_POSITIVE_PENALTY;
-                                    self.stats.incr("hops.bloom_false_positives");
+                                    bump(&mut self.counters, Counter::HopsBloomFalsePositives);
                                 }
                             }
                         }
@@ -1067,7 +1360,10 @@ impl System {
                         _ => {}
                     }
                 }
-                self.cores[idx].loads.push_back((completed, load_bucket));
+                self.cores[idx]
+                    .loads
+                    .push(completed, load_bucket)
+                    .expect("load_admit freed a slot");
                 prof(&mut self.profiler, idx, Bucket::Issue, issue + one);
                 self.cores[idx].time = issue + one;
                 self.cores[idx].pc += 1;
@@ -1092,7 +1388,7 @@ impl System {
                 self.record_access(out.served_from);
                 self.handle_evictions(out.dirty_pm_evictions);
                 if let Some(fetch) = out.pm_fetch {
-                    self.stats.incr("pmc.fetches");
+                    bump(&mut self.counters, Counter::PmcFetches);
                     // The write-allocate fetch is visible to the
                     // controller like any other read (Figure 4).
                     if matches!(self.machinery, Machinery::PmemSpec { .. }) {
@@ -1103,7 +1399,10 @@ impl System {
                 // commit cannot precede the previous one's.
                 let commit = out.completed.max(self.cores[idx].last_store_commit);
                 self.cores[idx].last_store_commit = commit;
-                self.cores[idx].sq.push_back((commit, SqKind::Store));
+                self.cores[idx]
+                    .sq
+                    .push(commit, SqKind::Store)
+                    .expect("sq_admit freed a slot");
                 let mut next_time = retire + one;
                 if addr.is_pm() {
                     let spec_tag = self.cores[idx].spec_tag;
@@ -1120,9 +1419,9 @@ impl System {
                             if ins.admitted > commit {
                                 // Full buffer back-pressures the core.
                                 next_time = next_time.max(ins.admitted);
-                                self.stats.incr("dpo.buffer_full_stalls");
+                                bump(&mut self.counters, Counter::DpoBufferFullStalls);
                             }
-                            *self.pending_line_persists.entry(line).or_insert(0) += 1;
+                            self.line_meta.get_mut(pm_line_index(line)).pending += 1;
                             self.push_event(
                                 ins.accepted,
                                 PmcEventKind::PersistWord {
@@ -1134,23 +1433,23 @@ impl System {
                                 },
                             );
                         }
-                        Machinery::Hops {
-                            buffers,
-                            bloom,
-                            pending,
-                        } => {
+                        Machinery::Hops { buffers, bloom } => {
                             let ci = controller_for(line.raw(), self.pmcs.len());
                             let ins =
                                 buffers[idx].insert(commit, line.raw(), &mut self.pmcs[ci], None);
                             if ins.admitted > commit {
                                 next_time = next_time.max(ins.admitted);
-                                self.stats.incr("hops.buffer_full_stalls");
+                                bump(&mut self.counters, Counter::HopsBufferFullStalls);
                             }
                             bloom.insert(line.raw());
-                            let e = pending.entry(line).or_insert((0, ins.accepted));
-                            e.0 += 1;
-                            e.1 = e.1.max(ins.accepted);
-                            *self.pending_line_persists.entry(line).or_insert(0) += 1;
+                            let meta = self.line_meta.get_mut(pm_line_index(line));
+                            if meta.hops_pending == 0 {
+                                meta.hops_accept = ins.accepted;
+                            } else {
+                                meta.hops_accept = meta.hops_accept.max(ins.accepted);
+                            }
+                            meta.hops_pending += 1;
+                            meta.pending += 1;
                             self.push_event(
                                 ins.accepted,
                                 PmcEventKind::PersistWord {
@@ -1167,9 +1466,9 @@ impl System {
                             let ins = buffers[idx].insert(commit, line.raw(), &mut self.pmcs[ci]);
                             if ins.admitted > commit {
                                 next_time = next_time.max(ins.admitted);
-                                self.stats.incr("strand.buffer_full_stalls");
+                                bump(&mut self.counters, Counter::StrandBufferFullStalls);
                             }
-                            *self.pending_line_persists.entry(line).or_insert(0) += 1;
+                            self.line_meta.get_mut(pm_line_index(line)).pending += 1;
                             self.push_event(
                                 ins.accepted,
                                 PmcEventKind::PersistWord {
@@ -1205,7 +1504,7 @@ impl System {
                             let delivery = paths[idx][route].send(dispatch);
                             let svc = self.pmcs[ci].write_word(delivery, line.raw());
                             paths[idx][route].note_backpressure(svc.accepted);
-                            *self.pending_line_persists.entry(line).or_insert(0) += 1;
+                            self.line_meta.get_mut(pm_line_index(line)).pending += 1;
                             self.push_event(
                                 svc.accepted,
                                 PmcEventKind::PersistWord {
@@ -1254,7 +1553,7 @@ impl System {
                                 svc.accepted,
                                 PmcEventKind::PersistLine { line: addr.line() },
                             );
-                            self.stats.incr("pmc.clwb_writebacks");
+                            bump(&mut self.counters, Counter::PmcClwbWritebacks);
                             // The CLWB retires once the ADR domain's
                             // acknowledgment travels back up the
                             // hierarchy; an SFENCE waits for that.
@@ -1263,7 +1562,10 @@ impl System {
                                 + self.cfg.llc.hit_latency
                                 + self.cfg.l1.hit_latency;
                         }
-                        self.cores[idx].sq.push_back((completed, SqKind::Clwb));
+                        self.cores[idx]
+                            .sq
+                            .push(completed, SqKind::Clwb)
+                            .expect("sq_admit freed a slot");
                         prof(&mut self.profiler, idx, Bucket::Issue, retire + one);
                         self.cores[idx].time = retire + one;
                     }
@@ -1281,23 +1583,23 @@ impl System {
                 match &mut self.machinery {
                     Machinery::IntelX86 => {
                         // Stall until all prior stores and CLWBs complete.
-                        let slowest = self.cores[idx].sq.iter().max_by_key(|&&(d, _)| d).copied();
+                        let slowest = self.cores[idx].sq.iter().max_by_key(|e| e.ready).copied();
                         self.cores[idx].sq.clear();
-                        let drained = slowest.map_or(t, |(d, _)| d).max(t);
-                        if let Some((d, kind)) = slowest {
-                            if d > t {
+                        let drained = slowest.map_or(t, |e| e.ready).max(t);
+                        if let Some(e) = slowest {
+                            if e.ready > t {
                                 // The fence waits out the slowest queue
                                 // entry: a CLWB round trip is flush time,
                                 // a plain store an ordering drain.
-                                let bucket = match kind {
+                                let bucket = match e.value {
                                     SqKind::Clwb => Bucket::Flush,
                                     SqKind::Store => Bucket::FenceDrain,
                                 };
-                                prof(&mut self.profiler, idx, bucket, d);
+                                prof(&mut self.profiler, idx, bucket, e.ready);
                             }
                         }
                         self.cores[idx].time = drained;
-                        self.stats.incr("x86.sfences");
+                        bump(&mut self.counters, Counter::X86Sfences);
                     }
                     Machinery::Dpo { buffers, .. } => {
                         // DPO enforces persist order at SFENCE and at every
@@ -1313,7 +1615,7 @@ impl System {
                         buffers[idx].ofence();
                         prof(&mut self.profiler, idx, Bucket::FenceDrain, drained);
                         self.cores[idx].time = drained;
-                        self.stats.incr("dpo.barrier_drains");
+                        bump(&mut self.counters, Counter::DpoBarrierDrains);
                     }
                     _ => unreachable!("SFENCE outside IntelX86/DPO programs"),
                 }
@@ -1324,7 +1626,7 @@ impl System {
                     unreachable!("ofence outside HOPS programs")
                 };
                 buffers[idx].ofence();
-                self.stats.incr("hops.ofences");
+                bump(&mut self.counters, Counter::HopsOfences);
                 prof(&mut self.profiler, idx, Bucket::Issue, t + one);
                 self.cores[idx].time = t + one;
                 self.cores[idx].pc += 1;
@@ -1345,7 +1647,7 @@ impl System {
                 // tail beyond that is fence time.
                 prof(&mut self.profiler, idx, Bucket::FenceDrain, done);
                 self.cores[idx].time = done;
-                self.stats.incr("hops.dfences");
+                bump(&mut self.counters, Counter::HopsDfences);
                 self.cores[idx].pc += 1;
             }
             Op::SpecBarrier => {
@@ -1366,7 +1668,7 @@ impl System {
                 let done = drained.max(joined);
                 prof(&mut self.profiler, idx, Bucket::FenceDrain, done);
                 self.cores[idx].time = done;
-                self.stats.incr("spec.barriers");
+                bump(&mut self.counters, Counter::SpecBarriers);
                 self.cores[idx].pc += 1;
             }
             Op::SpecAssign => {
@@ -1390,7 +1692,7 @@ impl System {
                     unreachable!("new-strand outside StrandWeaver programs")
                 };
                 buffers[idx].new_strand();
-                self.stats.incr("strand.new");
+                bump(&mut self.counters, Counter::StrandNew);
                 prof(&mut self.profiler, idx, Bucket::Issue, t + one);
                 self.cores[idx].time = t + one;
                 self.cores[idx].pc += 1;
@@ -1400,7 +1702,7 @@ impl System {
                     unreachable!("persist-barrier outside StrandWeaver programs")
                 };
                 buffers[idx].strand_barrier();
-                self.stats.incr("strand.barriers");
+                bump(&mut self.counters, Counter::StrandBarriers);
                 prof(&mut self.profiler, idx, Bucket::Issue, t + one);
                 self.cores[idx].time = t + one;
                 self.cores[idx].pc += 1;
@@ -1418,7 +1720,7 @@ impl System {
                 let done = joined.max(loads);
                 prof(&mut self.profiler, idx, Bucket::FenceDrain, done);
                 self.cores[idx].time = done;
-                self.stats.incr("strand.joins");
+                bump(&mut self.counters, Counter::StrandJoins);
                 self.cores[idx].pc += 1;
             }
             Op::Lock { lock } => {
@@ -1479,7 +1781,7 @@ impl System {
                             drained += self.cfg.persist_path_latency;
                         }
                         done = done.max(drained);
-                        self.stats.incr("dpo.barrier_drains");
+                        bump(&mut self.counters, Counter::DpoBarrierDrains);
                     }
                     prof(&mut self.profiler, idx, Bucket::FenceDrain, done);
                     let lock_state = self.locks.get_mut(&lock).expect("just inserted");
@@ -1488,11 +1790,12 @@ impl System {
                     self.cores[idx].held_locks.push(lock);
                     self.cores[idx].time = done;
                     self.cores[idx].pc += 1;
-                    self.stats.incr("lock.acquires");
+                    bump(&mut self.counters, Counter::LockAcquires);
                 } else {
                     lock_state.waiters.push_back(idx);
                     self.cores[idx].status = CoreStatus::Waiting(lock);
-                    self.stats.incr("lock.contended");
+                    self.runnable &= !(1 << idx);
+                    bump(&mut self.counters, Counter::LockContended);
                 }
             }
             Op::Unlock { lock } => {
@@ -1507,7 +1810,7 @@ impl System {
                         drained += self.cfg.persist_path_latency;
                     }
                     release_at = release_at.max(drained);
-                    self.stats.incr("dpo.barrier_drains");
+                    bump(&mut self.counters, Counter::DpoBarrierDrains);
                 }
                 // Store-queue drain (TSO release order) and the DPO
                 // barrier drain are both ordering stalls.
@@ -1552,7 +1855,7 @@ impl System {
                 core.time = t + one;
                 core.pc += 1;
                 prof(&mut self.profiler, idx, Bucket::Checkpoint, t + one);
-                self.stats.incr("fase.checkpoints");
+                bump(&mut self.counters, Counter::FaseCheckpoints);
             }
             Op::FaseBegin { .. } => {
                 let core = &mut self.cores[idx];
@@ -1583,7 +1886,7 @@ impl System {
                     core.nonspec_retry = false;
                     core.checkpoint = None;
                     core.pc += 1;
-                    self.stats.incr("fase.committed");
+                    bump(&mut self.counters, Counter::FaseCommitted);
                 }
             }
         }
@@ -1652,7 +1955,50 @@ impl System {
     }
 
     /// The main execution loop shared by every `run_*` entry point.
+    ///
+    /// Dispatches to a dense loop when nothing observes execution: the
+    /// per-step instrumentation checks (occupancy sampling, eager-abort
+    /// polling, boundary logging, trace recording) exist only on the
+    /// instrumented path, and with them gone a step is exactly
+    /// schedule → drain → execute. Both paths produce identical
+    /// simulated results — instrumentation only observes.
     fn run_loop(&mut self) {
+        let instrumented = self.profiler.is_some()
+            || self.tracer.is_some()
+            || self.boundary_log.is_some()
+            || self.policy == RecoveryPolicy::Eager;
+        if instrumented {
+            self.run_loop_instrumented();
+        } else {
+            while let Some((idx, others_min)) = self.next_core_with_margin() {
+                // Stay on this core while it is *strictly* the earliest:
+                // re-scanning all cores per step is the dominant loop
+                // overhead, and a core typically retires several 1-cycle
+                // ops before a memory stall pushes it past its peers.
+                // Bail to a full rescan the moment the decision could
+                // differ: a tie (index order decides), or any change to
+                // the runnable set (a step can wake a waiter whose local
+                // time is arbitrary).
+                loop {
+                    if self.cores[idx].time < self.stall_until {
+                        // Speculation-buffer overflow pauses every core
+                        // (§5.3).
+                        self.cores[idx].time = self.stall_until;
+                    }
+                    let t = self.cores[idx].time;
+                    self.drain_events(t);
+                    let runnable_before = self.runnable;
+                    self.step(idx);
+                    if self.runnable != runnable_before || self.cores[idx].time >= others_min {
+                        break;
+                    }
+                }
+            }
+        }
+        self.drain_events(Cycle::MAX);
+    }
+
+    fn run_loop_instrumented(&mut self) {
         while let Some(idx) = self.next_core() {
             if self.cores[idx].time < self.stall_until {
                 // Speculation-buffer overflow pauses every core (§5.3).
@@ -1691,7 +2037,6 @@ impl System {
                 self.record_step(idx, pc_before, t);
             }
         }
-        self.drain_events(Cycle::MAX);
     }
 
     /// Records the just-executed instruction as a trace span.
@@ -1726,6 +2071,15 @@ impl System {
     }
 
     fn build_report(mut self) -> RunReport {
+        // Fold the dense hot counters into the string-keyed stats. Only
+        // nonzero slots fold, so a key is present exactly when the
+        // original per-site `incr` calls would have inserted it; the
+        // map is sorted by key, so fold order cannot matter.
+        for (i, &n) in self.counters.iter().enumerate() {
+            if n > 0 {
+                self.stats.add(Counter::KEYS[i], n);
+            }
+        }
         let total_time = self
             .cores
             .iter()
@@ -1833,8 +2187,8 @@ impl System {
     fn occupancy_snapshot(&self, at: Cycle) -> Vec<u64> {
         let mut values = Vec::new();
         for (i, core) in self.cores.iter().enumerate() {
-            values.push(core.sq.iter().filter(|&&(d, _)| d > at).count() as u64);
-            values.push(core.loads.iter().filter(|&&(d, _)| d > at).count() as u64);
+            values.push(core.sq.iter().filter(|e| e.ready > at).count() as u64);
+            values.push(core.loads.iter().filter(|e| e.ready > at).count() as u64);
             match &self.machinery {
                 Machinery::IntelX86 => {}
                 Machinery::Dpo { buffers, .. } | Machinery::Hops { buffers, .. } => {
@@ -1964,6 +2318,9 @@ impl System {
 /// assert_eq!(report.fases_committed, 1);
 /// # Ok::<(), pmem_spec::BuildSystemError>(())
 /// ```
-pub fn run_program(cfg: SimConfig, program: Program) -> Result<RunReport, BuildSystemError> {
+pub fn run_program(
+    cfg: SimConfig,
+    program: impl Into<Arc<Program>>,
+) -> Result<RunReport, BuildSystemError> {
     Ok(System::new(cfg, program)?.run())
 }

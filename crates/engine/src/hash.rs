@@ -1,0 +1,142 @@
+//! A fast, deterministic-quality hasher for simulator-internal maps.
+//!
+//! The simulator's hottest maps (memory images, the coherence directory,
+//! pending-persist tracking) are keyed on small integers and addresses.
+//! `std`'s default SipHash is DoS-resistant but costs tens of cycles per
+//! lookup; these maps never see attacker-controlled keys, so we use the
+//! Fx multiply-rotate hash (the rustc-internal scheme) instead —
+//! implemented locally, like [`crate::rng`], so the workspace stays
+//! dependency-free.
+//!
+//! Swapping hashers cannot change simulation results: nothing in the
+//! simulator depends on map iteration order (every reported collection is
+//! sorted first), which is also why the std `RandomState` hasher — random
+//! per process — was tolerable before.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmemspec_engine::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(7, "line");
+//! assert_eq!(m[&7], "line");
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// The Fx word-at-a-time multiply-rotate hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// The golden-ratio multiplier (2^64 / φ), the usual Fibonacci-hashing
+/// constant.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault};
+
+    fn hash_of(v: u64) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(0xdead_beef), hash_of(0xdead_beef));
+        assert_ne!(hash_of(1), hash_of(2));
+    }
+
+    #[test]
+    fn word_and_byte_paths_agree() {
+        let via_u64 = hash_of(0x0102_0304_0506_0708);
+        let mut h = FxHasher::default();
+        h.write(&0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(h.finish(), via_u64);
+    }
+
+    #[test]
+    fn short_tails_hash_distinctly() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m[&(i * 64)], i);
+        }
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+    }
+}

@@ -9,6 +9,11 @@
 //! * [`stats`] — counters and histograms collected during simulation.
 //! * [`config`] — the simulator configuration, whose defaults reproduce
 //!   Table 3 of the ASPLOS 2021 paper.
+//! * [`wheel`], [`arena`], [`hash`] — host-performance substrates for the
+//!   simulator hot path: a calendar-queue event scheduler with
+//!   `BinaryHeap`-identical pop order, an arena-backed fixed-capacity
+//!   FIFO interchangeable with [`queue::TimedFifo`], and a fast
+//!   non-cryptographic hasher for simulator-internal maps.
 //! * [`explore`] — explicit-state exploration of nondeterministic
 //!   transition systems with replayable decision traces, used by the
 //!   crashtest model checker to enumerate every persist-order
@@ -29,15 +34,22 @@
 //! assert_eq!(t.raw(), 20 * CYCLES_PER_NS);
 //! ```
 
+pub mod arena;
 pub mod clock;
 pub mod config;
 pub mod explore;
+pub mod hash;
+pub mod pagemap;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod wheel;
 
+pub use arena::ArenaFifo;
 pub use clock::{Cycle, Duration};
 pub use config::SimConfig;
 pub use explore::{explore, DecisionTrace, ExploreStats, StateLimitExceeded};
+pub use hash::{FxHashMap, FxHashSet};
 pub use rng::SimRng;
 pub use stats::Stats;
+pub use wheel::EventWheel;

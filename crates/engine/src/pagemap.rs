@@ -1,0 +1,153 @@
+//! A sparse, paged direct-map from dense `u64` indices to `Copy` values.
+//!
+//! [`PageMap`] trades hashing for indexing: lookups are two array
+//! dereferences, so it beats a hash map whenever keys are dense small
+//! integers — e.g. persistent-memory word/line offsets, which start at
+//! zero and grow with the workload's footprint. Absent entries read as
+//! the `empty` sentinel supplied at construction; storage is allocated
+//! one 512-entry page at a time, only for regions actually touched.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmemspec_engine::pagemap::PageMap;
+//!
+//! let mut m: PageMap<u32> = PageMap::new(0);
+//! assert_eq!(m.get(7), 0);
+//! *m.get_mut(7) += 2;
+//! m.set(4096, 9);
+//! assert_eq!(m.get(7), 2);
+//! assert_eq!(m.get(4096), 9);
+//! ```
+
+/// Entries per page. One page of `u64` values is 4 KiB.
+const PAGE: usize = 512;
+
+/// A paged array keyed by `u64` index, with a sentinel for absent slots.
+#[derive(Debug, Clone)]
+pub struct PageMap<V: Copy> {
+    pages: Vec<Option<Box<[V]>>>,
+    empty: V,
+}
+
+impl<V: Copy> PageMap<V> {
+    /// Creates an empty map; unset indices read back as `empty`.
+    pub fn new(empty: V) -> Self {
+        PageMap {
+            pages: Vec::new(),
+            empty,
+        }
+    }
+
+    /// Reads the value at `index` (the sentinel when never written).
+    #[inline]
+    pub fn get(&self, index: u64) -> V {
+        let i = index as usize;
+        match self.pages.get(i / PAGE) {
+            Some(Some(p)) => p[i % PAGE],
+            _ => self.empty,
+        }
+    }
+
+    /// Mutable access to the slot at `index`, allocating its page on
+    /// first touch (initialised to the sentinel).
+    #[inline]
+    pub fn get_mut(&mut self, index: u64) -> &mut V {
+        let i = index as usize;
+        let pi = i / PAGE;
+        if pi >= self.pages.len() || self.pages[pi].is_none() {
+            self.grow(pi);
+        }
+        let page = self.pages[pi].as_mut().expect("page allocated by grow");
+        &mut page[i % PAGE]
+    }
+
+    /// Allocation slow path of [`PageMap::get_mut`], kept out of line so
+    /// the steady-state lookup stays a pair of bounds-checked loads.
+    #[cold]
+    #[inline(never)]
+    fn grow(&mut self, pi: usize) {
+        if pi >= self.pages.len() {
+            self.pages.resize_with(pi + 1, || None);
+        }
+        let empty = self.empty;
+        self.pages[pi].get_or_insert_with(|| vec![empty; PAGE].into_boxed_slice());
+    }
+
+    /// Stores `value` at `index`.
+    #[inline]
+    pub fn set(&mut self, index: u64, value: V) {
+        *self.get_mut(index) = value;
+    }
+
+    /// Iterates `(index, value)` over every slot holding a non-sentinel
+    /// value, in index order. (Writing the sentinel back into a slot is
+    /// indistinguishable from never having touched it.)
+    pub fn iter(&self) -> impl Iterator<Item = (u64, V)> + '_
+    where
+        V: PartialEq,
+    {
+        let empty = self.empty;
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, p)| p.as_deref().map(|p| (pi, p)))
+            .flat_map(move |(pi, p)| {
+                p.iter()
+                    .enumerate()
+                    .filter_map(move |(j, &v)| (v != empty).then_some(((pi * PAGE + j) as u64, v)))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_reads_sentinel() {
+        let m: PageMap<u64> = PageMap::new(u64::MAX);
+        assert_eq!(m.get(0), u64::MAX);
+        assert_eq!(m.get(1 << 20), u64::MAX);
+    }
+
+    #[test]
+    fn set_then_get_round_trips() {
+        let mut m = PageMap::new(0u32);
+        m.set(3, 7);
+        m.set(511, 8);
+        m.set(512, 9); // second page
+        assert_eq!(m.get(3), 7);
+        assert_eq!(m.get(511), 8);
+        assert_eq!(m.get(512), 9);
+        assert_eq!(m.get(4), 0, "untouched slot on an allocated page");
+    }
+
+    #[test]
+    fn get_mut_allocates_and_mutates() {
+        let mut m = PageMap::new((u32::MAX, 0u64));
+        let e = m.get_mut(1000);
+        assert_eq!(*e, (u32::MAX, 0));
+        *e = (3, 42);
+        assert_eq!(m.get(1000), (3, 42));
+    }
+
+    #[test]
+    fn sparse_indices_allocate_only_touched_pages() {
+        let mut m = PageMap::new(0u8);
+        m.set(1 << 16, 1);
+        let allocated = m.pages.iter().filter(|p| p.is_some()).count();
+        assert_eq!(allocated, 1, "one page despite a 64 Ki index");
+    }
+
+    #[test]
+    fn iter_skips_sentinels_and_orders_by_index() {
+        let mut m = PageMap::new(0u32);
+        m.set(700, 7);
+        m.set(3, 1);
+        m.set(900, 9);
+        m.set(700, 0); // back to the sentinel: drops out of iteration
+        let all: Vec<_> = m.iter().collect();
+        assert_eq!(all, vec![(3, 1), (900, 9)]);
+    }
+}

@@ -47,6 +47,47 @@ impl ThreadProgram {
 pub struct Program {
     design: DesignKind,
     threads: Vec<ThreadProgram>,
+    /// Success-cache for [`Program::validate`]: programs are immutable
+    /// after construction, so a program that passed once never needs
+    /// re-checking (the same lowered program is simulated many times
+    /// across a sweep).
+    valid: ValidCache,
+}
+
+/// A "validation passed" flag that stays invisible to the value
+/// semantics of [`Program`]: equal on every comparison, carried across
+/// clones (a clone of a valid program is valid).
+#[derive(Default)]
+struct ValidCache(std::sync::atomic::AtomicBool);
+
+impl ValidCache {
+    fn passed(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn mark(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl Clone for ValidCache {
+    fn clone(&self) -> Self {
+        ValidCache(std::sync::atomic::AtomicBool::new(self.passed()))
+    }
+}
+
+impl PartialEq for ValidCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for ValidCache {}
+
+impl std::fmt::Debug for ValidCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ValidCache").field(&self.passed()).finish()
+    }
 }
 
 /// A structural problem found by [`Program::validate`].
@@ -74,7 +115,11 @@ impl std::error::Error for ValidateProgramError {}
 impl Program {
     /// Wraps lowered threads for `design`.
     pub fn new(design: DesignKind, threads: Vec<ThreadProgram>) -> Self {
-        Program { design, threads }
+        Program {
+            design,
+            threads,
+            valid: ValidCache::default(),
+        }
     }
 
     /// The design this program was lowered for.
@@ -138,6 +183,9 @@ impl Program {
     ///
     /// Returns the first problem found.
     pub fn validate(&self) -> Result<(), ValidateProgramError> {
+        if self.valid.passed() {
+            return Ok(());
+        }
         for (ti, t) in self.threads.iter().enumerate() {
             let err = |op_index: Option<usize>, message: String| ValidateProgramError {
                 thread: ti,
@@ -215,6 +263,7 @@ impl Program {
                 return Err(err(None, "spec-assign never revoked".into()));
             }
         }
+        self.valid.mark();
         Ok(())
     }
 }

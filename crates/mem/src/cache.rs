@@ -38,7 +38,16 @@ pub struct Inserted {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<Way>>,
+    /// Way storage, handed out of `arena` one full set at a time on
+    /// first touch: `sets[s]` is 1 + the set's arena offset (0 = never
+    /// touched). Two zeroed flat allocations up front and one growing
+    /// arena keep construction and teardown to three heap operations,
+    /// where per-set boxes cost a malloc/free pair for every touched
+    /// set of every `System` built.
+    sets: Vec<u32>,
+    arena: Vec<Way>,
+    /// Resident-way count of each set (the prefix of its arena block).
+    lens: Vec<u8>,
     ways: usize,
     tick: u64,
 }
@@ -48,12 +57,16 @@ impl SetAssocCache {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` is not a power of two or `ways` is zero.
+    /// Panics if `sets` is not a power of two or `ways` is zero or
+    /// exceeds 255.
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(ways > 0, "cache needs at least one way");
+        assert!(ways <= u8::MAX as usize, "way count must fit in a byte");
         SetAssocCache {
-            sets: vec![Vec::with_capacity(ways); sets],
+            sets: vec![0; sets],
+            arena: Vec::new(),
+            lens: vec![0; sets],
             ways,
             tick: 0,
         }
@@ -68,16 +81,40 @@ impl SetAssocCache {
         self.tick
     }
 
+    /// The resident ways of set `s`.
+    #[inline]
+    fn set(&self, s: usize) -> &[Way] {
+        match self.sets[s] {
+            0 => &[],
+            base => {
+                let b = (base - 1) as usize;
+                &self.arena[b..b + self.lens[s] as usize]
+            }
+        }
+    }
+
+    /// The resident ways of set `s`, mutable.
+    #[inline]
+    fn set_mut(&mut self, s: usize) -> &mut [Way] {
+        match self.sets[s] {
+            0 => &mut [],
+            base => {
+                let b = (base - 1) as usize;
+                &mut self.arena[b..b + self.lens[s] as usize]
+            }
+        }
+    }
+
     /// True when the line is resident.
     pub fn contains(&self, line: LineAddr) -> bool {
         let s = self.set_index(line);
-        self.sets[s].iter().any(|w| w.line == line)
+        self.set(s).iter().any(|w| w.line == line)
     }
 
     /// True when the line is resident and dirty.
     pub fn is_dirty(&self, line: LineAddr) -> bool {
         let s = self.set_index(line);
-        self.sets[s].iter().any(|w| w.line == line && w.dirty)
+        self.set(s).iter().any(|w| w.line == line && w.dirty)
     }
 
     /// Marks a hit: refreshes LRU and optionally sets the dirty bit.
@@ -86,7 +123,7 @@ impl SetAssocCache {
     pub fn touch(&mut self, line: LineAddr, write: bool) -> bool {
         let s = self.set_index(line);
         let tick = self.bump();
-        if let Some(w) = self.sets[s].iter_mut().find(|w| w.line == line) {
+        if let Some(w) = self.set_mut(s).iter_mut().find(|w| w.line == line) {
             w.lru = tick;
             if write {
                 w.dirty = true;
@@ -101,28 +138,52 @@ impl SetAssocCache {
     ///
     /// # Panics
     ///
-    /// Panics if the line is already resident — callers must use
-    /// [`SetAssocCache::touch`] for hits so LRU state stays sound.
+    /// Panics in debug builds if the line is already resident — callers
+    /// must use [`SetAssocCache::touch`] for hits so LRU state stays
+    /// sound. (Release builds skip the residency scan: it sits on the
+    /// hottest simulator path and every caller checks first.)
     pub fn insert(&mut self, line: LineAddr, dirty: bool) -> Inserted {
-        assert!(!self.contains(line), "inserting resident line {line}");
+        debug_assert!(!self.contains(line), "inserting resident line {line}");
         let s = self.set_index(line);
         let tick = self.bump();
-        let victim = if self.sets[s].len() == self.ways {
-            let (idx, _) = self.sets[s]
+        let full_ways = self.ways;
+        if self.sets[s] == 0 {
+            // First touch of this set: carve its full associativity out
+            // of the arena.
+            self.sets[s] = self.arena.len() as u32 + 1;
+            self.arena.resize(
+                self.arena.len() + full_ways,
+                Way {
+                    line,
+                    dirty: false,
+                    lru: 0,
+                },
+            );
+        }
+        let b = (self.sets[s] - 1) as usize;
+        let ways = &mut self.arena[b..b + full_ways];
+        let mut len = self.lens[s] as usize;
+        let victim = if len == full_ways {
+            let (idx, _) = ways[..len]
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, w)| w.lru)
                 .expect("full set is non-empty");
-            let v = self.sets[s].swap_remove(idx);
+            let v = ways[idx];
+            // Matches `Vec::swap_remove` + `push`: the last way moves
+            // into the victim's slot and the new line lands at the end.
+            ways[idx] = ways[len - 1];
+            len -= 1;
             Some((v.line, v.dirty))
         } else {
             None
         };
-        self.sets[s].push(Way {
+        ways[len] = Way {
             line,
             dirty,
             lru: tick,
-        });
+        };
+        self.lens[s] = (len + 1) as u8;
         Inserted { victim }
     }
 
@@ -130,16 +191,20 @@ impl SetAssocCache {
     /// resident and dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let s = self.set_index(line);
-        let idx = self.sets[s].iter().position(|w| w.line == line)?;
-        let w = self.sets[s].swap_remove(idx);
-        Some(w.dirty)
+        let len = self.lens[s] as usize;
+        let ways = self.set_mut(s);
+        let idx = ways.iter().position(|w| w.line == line)?;
+        let dirty = ways[idx].dirty;
+        ways[idx] = ways[len - 1];
+        self.lens[s] = (len - 1) as u8;
+        Some(dirty)
     }
 
     /// Clears the dirty bit (after a writeback that keeps the line), e.g.
     /// `CLWB` semantics. Returns false when not resident.
     pub fn clean(&mut self, line: LineAddr) -> bool {
         let s = self.set_index(line);
-        if let Some(w) = self.sets[s].iter_mut().find(|w| w.line == line) {
+        if let Some(w) = self.set_mut(s).iter_mut().find(|w| w.line == line) {
             w.dirty = false;
             true
         } else {
@@ -149,7 +214,7 @@ impl SetAssocCache {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// True when nothing is resident.
@@ -159,19 +224,20 @@ impl SetAssocCache {
 
     /// Iterates all resident lines with their dirty bits.
     pub fn lines(&self) -> impl Iterator<Item = (LineAddr, bool)> + '_ {
-        self.sets.iter().flatten().map(|w| (w.line, w.dirty))
+        (0..self.sets.len())
+            .flat_map(|s| self.set(s))
+            .map(|w| (w.line, w.dirty))
     }
 
     /// Number of resident dirty lines.
     pub fn dirty_lines(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.dirty).count()
+        self.lines().filter(|&(_, dirty)| dirty).count()
     }
 
-    /// Drops everything (power-failure simulation).
+    /// Drops everything (power-failure simulation). Keeps allocations:
+    /// the tag storage is reused when execution resumes.
     pub fn clear(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.lens.fill(0);
     }
 }
 

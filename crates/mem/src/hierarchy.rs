@@ -15,11 +15,12 @@
 //! with an address-only WriteBack notification to the speculation buffer
 //! (PMEM-Spec).
 
-use std::collections::HashMap;
-
 use pmemspec_engine::clock::{Cycle, Duration};
 use pmemspec_engine::config::SimConfig;
-use pmemspec_isa::addr::LineAddr;
+use pmemspec_engine::hash::FxHashMap;
+use pmemspec_engine::pagemap::PageMap;
+use pmemspec_isa::addr::{LineAddr, LINE_BYTES, PM_BASE};
+use pmemspec_isa::Addr;
 
 use crate::cache::SetAssocCache;
 use crate::dram::Dram;
@@ -80,8 +81,9 @@ pub struct AccessOutcome {
     /// write-allocate store misses — the latter matter for the
     /// fetch-based-detection ablation, Figure 4).
     pub pm_fetch: Option<PmFetch>,
-    /// Dirty PM lines the LLC evicted to make room.
-    pub dirty_pm_evictions: Vec<EvictedLine>,
+    /// Dirty PM line the LLC evicted to make room (at most one per
+    /// access: a miss installs exactly one line).
+    pub dirty_pm_evictions: Option<EvictedLine>,
 }
 
 /// The result of a `CLWB`.
@@ -94,7 +96,7 @@ pub struct ClwbOutcome {
     pub pm_write: Option<Service>,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct DirEntry {
     /// Bitmask of cores whose L1 holds the line.
     sharers: u64,
@@ -103,12 +105,85 @@ struct DirEntry {
     owner: Option<u8>,
 }
 
+/// Line index of the bottom of the PM region.
+const PM_LINE_BASE: u64 = PM_BASE / LINE_BYTES;
+
+/// The coherence directory, consulted several times per access.
+///
+/// Split in two planes by address: PM data lines have dense indices
+/// from the bottom of the PM region, so they live in a [`PageMap`]
+/// (two array dereferences per lookup); everything else — lock lines a
+/// quarter of the way up DRAM, plus any volatile data — is sparse and
+/// rare, and stays in a hash map. A default-valued (`sharers == 0`)
+/// paged slot is identical to an absent hash entry; nothing observes
+/// iteration order (invariant checks assert per-entry).
+#[derive(Debug, Clone)]
+struct DirMap {
+    pm: PageMap<DirEntry>,
+    other: FxHashMap<LineAddr, DirEntry>,
+}
+
+impl DirMap {
+    fn new() -> Self {
+        DirMap {
+            pm: PageMap::new(DirEntry::default()),
+            other: FxHashMap::default(),
+        }
+    }
+
+    /// The entry for `line` (default when absent).
+    #[inline]
+    fn get(&self, line: LineAddr) -> DirEntry {
+        if line.is_pm() {
+            self.pm.get(line.raw() - PM_LINE_BASE)
+        } else {
+            self.other.get(&line).copied().unwrap_or_default()
+        }
+    }
+
+    /// Runs `f` on the (created-if-absent) entry for `line`, then drops
+    /// the entry again if `f` left it empty — mutating an absent entry
+    /// into the default state is a no-op overall, exactly like the
+    /// `if let Some(e) = map.get_mut(..)` pattern on a plain hash map.
+    #[inline]
+    fn update(&mut self, line: LineAddr, f: impl FnOnce(&mut DirEntry)) {
+        if line.is_pm() {
+            // The sentinel *is* the default entry: no cleanup needed.
+            f(self.pm.get_mut(line.raw() - PM_LINE_BASE));
+        } else {
+            let e = self.other.entry(line).or_default();
+            f(e);
+            if e.sharers == 0 {
+                self.other.remove(&line);
+            }
+        }
+    }
+
+    /// Drops the entry for `line`.
+    #[inline]
+    fn remove(&mut self, line: LineAddr) {
+        if line.is_pm() {
+            self.pm.set(line.raw() - PM_LINE_BASE, DirEntry::default());
+        } else {
+            self.other.remove(&line);
+        }
+    }
+
+    /// Iterates all present entries (both planes).
+    fn entries(&self) -> impl Iterator<Item = (LineAddr, DirEntry)> + '_ {
+        self.pm
+            .iter()
+            .map(|(i, e)| (Addr::pm(i * LINE_BYTES).line(), e))
+            .chain(self.other.iter().map(|(&l, &e)| (l, e)))
+    }
+}
+
 /// The coherent hierarchy.
 #[derive(Debug, Clone)]
 pub struct CacheHierarchy {
     l1: Vec<SetAssocCache>,
     llc: SetAssocCache,
-    dir: HashMap<LineAddr, DirEntry>,
+    dir: DirMap,
     l1_hit: Duration,
     llc_hit: Duration,
     llc_to_mem: Duration,
@@ -132,7 +207,7 @@ impl CacheHierarchy {
                 .map(|_| SetAssocCache::new(cfg.l1.sets(), cfg.l1.ways))
                 .collect(),
             llc: SetAssocCache::new(cfg.llc.sets(), cfg.llc.ways),
-            dir: HashMap::new(),
+            dir: DirMap::new(),
             l1_hit: cfg.l1.hit_latency,
             llc_hit: cfg.llc.hit_latency,
             llc_to_mem: cfg.llc_to_pmc_latency,
@@ -152,23 +227,24 @@ impl CacheHierarchy {
     }
 
     fn dir_remove_sharer(&mut self, line: LineAddr, core: usize) {
-        if let Some(e) = self.dir.get_mut(&line) {
+        self.dir.update(line, |e| {
             e.sharers &= !(1u64 << core);
             if e.owner == Some(core as u8) {
                 e.owner = None;
             }
             if e.sharers == 0 {
-                self.dir.remove(&line);
+                *e = DirEntry::default();
             }
-        }
+        });
     }
 
     /// Invalidates every L1 copy of `line` except `keep`'s, returning
     /// whether any invalidated copy was dirty.
     fn invalidate_peers(&mut self, line: LineAddr, keep: Option<usize>) -> bool {
-        let Some(e) = self.dir.get(&line).copied() else {
+        let e = self.dir.get(line);
+        if e.sharers == 0 {
             return false;
-        };
+        }
         let mut any_dirty = false;
         for core in 0..self.l1.len() {
             if keep == Some(core) {
@@ -182,11 +258,12 @@ impl CacheHierarchy {
         }
         let keep_mask = keep.map(|c| 1u64 << c).unwrap_or(0) & e.sharers;
         if keep_mask == 0 {
-            self.dir.remove(&line);
+            self.dir.remove(line);
         } else {
-            let entry = self.dir.get_mut(&line).expect("entry existed");
-            entry.sharers = keep_mask;
-            entry.owner = None;
+            self.dir.update(line, |entry| {
+                entry.sharers = keep_mask;
+                entry.owner = None;
+            });
         }
         any_dirty
     }
@@ -206,9 +283,10 @@ impl CacheHierarchy {
                 }
             }
         }
-        let entry = self.dir.entry(line).or_default();
-        entry.sharers |= 1u64 << core;
-        entry.owner = if dirty { Some(core as u8) } else { None };
+        self.dir.update(line, |entry| {
+            entry.sharers |= 1u64 << core;
+            entry.owner = if dirty { Some(core as u8) } else { None };
+        });
     }
 
     /// Installs `line` into the LLC, returning any dirty PM eviction.
@@ -242,26 +320,35 @@ impl CacheHierarchy {
         dram: &mut Dram,
     ) -> AccessOutcome {
         assert!(core < self.l1.len(), "core {core} out of range");
-        let mut evictions = Vec::new();
+        let mut evictions = None;
         let write = matches!(kind, AccessKind::Write);
 
-        // 1. Own-L1 hit.
-        if self.l1[core].contains(line) {
-            let entry = self.dir.get(&line).copied().unwrap_or_default();
-            let others = entry.sharers & !(1u64 << core);
-            let completed = if write && others != 0 {
-                // Upgrade: invalidate peer copies via the directory.
-                self.invalidate_peers(line, Some(core));
-                now + self.l1_hit + self.llc_hit + self.bus_penalty
+        // 1. Own-L1 hit. `touch` doubles as the residency probe so the
+        // hit path scans the set once instead of contains-then-touch
+        // (tick ordering is unchanged: nothing between the old probe and
+        // the old touch bumped it, and a miss-side bump only shifts every
+        // later tick by a constant, preserving all LRU comparisons).
+        if self.l1[core].touch(line, write) {
+            // Read hits never consult the directory: the probe below is
+            // only needed to find peers to invalidate on a write.
+            let completed = if write {
+                let entry = self.dir.get(line);
+                let others = entry.sharers & !(1u64 << core);
+                let completed = if others != 0 {
+                    // Upgrade: invalidate peer copies via the directory.
+                    self.invalidate_peers(line, Some(core));
+                    now + self.l1_hit + self.llc_hit + self.bus_penalty
+                } else {
+                    now + self.l1_hit
+                };
+                self.dir.update(line, |e| {
+                    e.sharers = 1u64 << core;
+                    e.owner = Some(core as u8);
+                });
+                completed
             } else {
                 now + self.l1_hit
             };
-            self.l1[core].touch(line, write);
-            if write {
-                let e = self.dir.entry(line).or_default();
-                e.sharers = 1u64 << core;
-                e.owner = Some(core as u8);
-            }
             return AccessOutcome {
                 completed,
                 served_from: ServedFrom::L1,
@@ -271,7 +358,7 @@ impl CacheHierarchy {
         }
 
         // 2. A peer holds it modified: forward through the LLC.
-        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        let entry = self.dir.get(line);
         if let Some(owner) = entry.owner {
             let owner = owner as usize;
             debug_assert_ne!(owner, core, "own-L1 hit handled above");
@@ -281,7 +368,7 @@ impl CacheHierarchy {
             let completed = now + self.l1_hit + self.llc_hit + self.bus_penalty * 2;
             if write {
                 self.l1[owner].invalidate(line);
-                self.dir.remove(&line);
+                self.dir.remove(line);
                 // The modified data lands in the LLC on the way.
                 if !self.llc.touch(line, true) {
                     self.llc.insert(line, true);
@@ -293,9 +380,7 @@ impl CacheHierarchy {
                 if !self.llc.touch(line, true) {
                     self.llc.insert(line, true);
                 }
-                if let Some(e) = self.dir.get_mut(&line) {
-                    e.owner = None;
-                }
+                self.dir.update(line, |e| e.owner = None);
                 self.install_l1(core, line, false);
             }
             return AccessOutcome {
@@ -306,15 +391,16 @@ impl CacheHierarchy {
             };
         }
 
-        // 3. LLC hit.
-        if self.llc.contains(line) {
+        // 3. LLC hit. As above, the touch itself is the residency probe;
+        // touching before the peer invalidation is equivalent because
+        // `invalidate_peers` never bumps the LRU tick.
+        // LLC dirtiness tracks data newer than memory; a new L1-dirty
+        // copy keeps the LLC bit unchanged, so never mark dirty here.
+        if self.llc.touch(line, false) {
             let completed = now + self.l1_hit + self.llc_hit + self.bus_penalty;
             if write {
                 self.invalidate_peers(line, None);
             }
-            // LLC dirtiness tracks data newer than memory; a new L1-dirty
-            // copy keeps the LLC bit unchanged, so never mark dirty here.
-            self.llc.touch(line, false);
             self.install_l1(core, line, write);
             return AccessOutcome {
                 completed,
@@ -344,9 +430,7 @@ impl CacheHierarchy {
         if write {
             self.invalidate_peers(line, None);
         }
-        if let Some(ev) = self.install_llc(line, now + self.l1_hit + self.llc_hit) {
-            evictions.push(ev);
-        }
+        evictions = self.install_llc(line, now + self.l1_hit + self.llc_hit);
         self.install_l1(core, line, write);
         AccessOutcome {
             completed: data_ready,
@@ -373,7 +457,7 @@ impl CacheHierarchy {
     ) -> ClwbOutcome {
         assert!(line.is_pm(), "CLWB of non-PM line {line}");
         assert!(core < self.l1.len(), "core {core} out of range");
-        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        let entry = self.dir.get(line);
         let dirty_somewhere = entry.owner.is_some() || self.llc.is_dirty(line);
         if !dirty_somewhere {
             // Lookup cost only.
@@ -384,9 +468,7 @@ impl CacheHierarchy {
         }
         if let Some(owner) = entry.owner {
             self.l1[owner as usize].clean(line);
-            if let Some(e) = self.dir.get_mut(&line) {
-                e.owner = None;
-            }
+            self.dir.update(line, |e| e.owner = None);
         }
         self.llc.clean(line);
         // The writeback data traverses the hierarchy (L1 → LLC → PMC);
@@ -412,12 +494,12 @@ impl CacheHierarchy {
     ///
     /// Panics on the first violated invariant.
     pub fn check_invariants(&self) {
-        for (line, e) in &self.dir {
+        for (line, e) in self.dir.entries() {
             assert!(e.sharers != 0, "directory entry for {line} with no sharers");
             for core in 0..self.l1.len() {
                 if e.sharers & (1u64 << core) != 0 {
                     assert!(
-                        self.l1[core].contains(*line),
+                        self.l1[core].contains(line),
                         "directory says core {core} shares {line}, L1 disagrees"
                     );
                 }
@@ -430,17 +512,18 @@ impl CacheHierarchy {
                     "owner of {line} must be the only sharer"
                 );
                 assert!(
-                    self.l1[owner].is_dirty(*line),
+                    self.l1[owner].is_dirty(line),
                     "owner's copy of {line} must be dirty"
                 );
             }
         }
         for (core, l1) in self.l1.iter().enumerate() {
             for (line, dirty) in l1.lines() {
-                let e = self
-                    .dir
-                    .get(&line)
-                    .unwrap_or_else(|| panic!("L1 {core} holds {line} with no directory entry"));
+                let e = self.dir.get(line);
+                assert!(
+                    e.sharers != 0,
+                    "L1 {core} holds {line} with no directory entry"
+                );
                 assert!(
                     e.sharers & (1u64 << core) != 0,
                     "L1 {core} holds {line} but is not a registered sharer"
@@ -462,7 +545,7 @@ impl CacheHierarchy {
 
     /// True when any L1 holds the line (test/diagnostic helper).
     pub fn in_any_l1(&self, line: LineAddr) -> bool {
-        self.dir.get(&line).is_some_and(|e| e.sharers != 0)
+        self.dir.get(line).sharers != 0
     }
 
     /// True when the LLC holds the line (test/diagnostic helper).
@@ -482,7 +565,7 @@ impl CacheHierarchy {
 
     /// The core holding the line modified, if any (test helper).
     pub fn owner(&self, line: LineAddr) -> Option<usize> {
-        self.dir.get(&line).and_then(|e| e.owner).map(usize::from)
+        self.dir.get(line).owner.map(usize::from)
     }
 }
 
@@ -705,7 +788,7 @@ mod tests {
                 &mut dram,
             );
             assert!(
-                out.dirty_pm_evictions.is_empty(),
+                out.dirty_pm_evictions.is_none(),
                 "clean lines leave silently"
             );
         }

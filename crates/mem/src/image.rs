@@ -16,14 +16,137 @@
 
 use std::collections::HashMap;
 
-use pmemspec_isa::addr::{Addr, LineAddr};
+use pmemspec_engine::hash::FxHashMap;
+use pmemspec_isa::addr::{Addr, LineAddr, PM_BASE};
+
+/// Bytes covered by one flat page (512 words).
+const PAGE_BYTES: u64 = 1 << 12;
+/// Words per page.
+const PAGE_WORDS: usize = (PAGE_BYTES / 8) as usize;
+/// Region offsets below this use the flat page table; anything beyond
+/// (sparse outliers) spills to a hash map. 64 MiB comfortably covers
+/// every workload footprint.
+const FLAT_LIMIT: u64 = 1 << 26;
+
+/// One 4 KiB page of words plus a per-word "ever written" bitmap (the
+/// bitmap distinguishes an explicit zero store from untouched memory so
+/// footprint counts stay exact).
+#[derive(Debug, Clone)]
+struct Page {
+    words: [u64; PAGE_WORDS],
+    written: [u64; PAGE_WORDS / 64],
+}
+
+impl Page {
+    fn zeroed() -> Box<Page> {
+        Box::new(Page {
+            words: [0; PAGE_WORDS],
+            written: [0; PAGE_WORDS / 64],
+        })
+    }
+}
+
+/// One value space (volatile DRAM, volatile PM, or persistent PM),
+/// keyed by byte offset within its region.
+///
+/// Dense offsets — all real workloads — resolve through a lazily grown
+/// flat page table: a read or write is a shift, a bounds check, and an
+/// array index, with no hashing. Offsets past [`FLAT_LIMIT`] fall back
+/// to a hash map so arbitrary addresses still behave.
+#[derive(Debug, Clone, Default)]
+struct Space {
+    pages: Vec<Option<Box<Page>>>,
+    spill: FxHashMap<u64, u64>,
+    /// Distinct words ever written (pages + spill).
+    written: usize,
+}
+
+impl Space {
+    #[inline]
+    fn read(&self, off: u64) -> u64 {
+        if off < FLAT_LIMIT {
+            match self.pages.get((off / PAGE_BYTES) as usize) {
+                Some(Some(p)) => p.words[(off % PAGE_BYTES) as usize / 8],
+                _ => 0,
+            }
+        } else {
+            self.spill.get(&off).copied().unwrap_or(0)
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, off: u64, value: u64) {
+        if off < FLAT_LIMIT {
+            let pi = (off / PAGE_BYTES) as usize;
+            if pi >= self.pages.len() || self.pages[pi].is_none() {
+                self.grow(pi);
+            }
+            let page = self.pages[pi].as_mut().expect("page allocated by grow");
+            let wi = (off % PAGE_BYTES) as usize / 8;
+            let bit = 1u64 << (wi % 64);
+            if page.written[wi / 64] & bit == 0 {
+                page.written[wi / 64] |= bit;
+                self.written += 1;
+            }
+            page.words[wi] = value;
+        } else if self.spill.insert(off, value).is_none() {
+            self.written += 1;
+        }
+    }
+
+    /// Allocation slow path of [`Space::write`], out of line so the
+    /// steady-state store is branch + index + store.
+    #[cold]
+    #[inline(never)]
+    fn grow(&mut self, pi: usize) {
+        if pi >= self.pages.len() {
+            self.pages.resize(pi + 1, None);
+        }
+        self.pages[pi].get_or_insert_with(Page::zeroed);
+    }
+
+    fn len(&self) -> usize {
+        self.written
+    }
+
+    /// Visits every written (offset, value) pair, in no defined order.
+    fn for_each(&self, mut f: impl FnMut(u64, u64)) {
+        for (pi, page) in self.pages.iter().enumerate() {
+            let Some(p) = page else { continue };
+            for (b, &mask) in p.written.iter().enumerate() {
+                let mut m = mask;
+                while m != 0 {
+                    let wi = b * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    f(pi as u64 * PAGE_BYTES + wi as u64 * 8, p.words[wi]);
+                }
+            }
+        }
+        for (&off, &v) in &self.spill {
+            f(off, v);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.pages.clear();
+        self.spill.clear();
+        self.written = 0;
+    }
+}
 
 /// The pair of value spaces. Unwritten words read as zero, matching
 /// zero-initialized simulated memory.
+///
+/// Every simulated load and store hits these spaces, so they are flat
+/// paged arrays rather than hash maps; nothing observes storage order
+/// (snapshots are handed out as plain maps and sorted by whoever
+/// reports them). The volatile image is split by region so an address
+/// maps straight to a region offset.
 #[derive(Debug, Clone, Default)]
 pub struct MemoryImage {
-    volatile: HashMap<Addr, u64>,
-    persistent: HashMap<Addr, u64>,
+    volatile_dram: Space,
+    volatile_pm: Space,
+    persistent: Space,
 }
 
 impl MemoryImage {
@@ -33,8 +156,14 @@ impl MemoryImage {
     }
 
     /// The coherent (CPU-visible) value of `addr`.
+    #[inline]
     pub fn read_volatile(&self, addr: Addr) -> u64 {
-        self.volatile.get(&addr).copied().unwrap_or(0)
+        let raw = addr.raw();
+        if raw >= PM_BASE {
+            self.volatile_pm.read(raw - PM_BASE)
+        } else {
+            self.volatile_dram.read(raw)
+        }
     }
 
     /// The on-device value of `addr`.
@@ -42,14 +171,21 @@ impl MemoryImage {
     /// # Panics
     ///
     /// Panics if `addr` is not in PM — DRAM has no persistent value.
+    #[inline]
     pub fn read_persistent(&self, addr: Addr) -> u64 {
         assert!(addr.is_pm(), "persistent read of DRAM address {addr}");
-        self.persistent.get(&addr).copied().unwrap_or(0)
+        self.persistent.read(addr.raw() - PM_BASE)
     }
 
     /// Executes a store in the volatile domain.
+    #[inline]
     pub fn store_volatile(&mut self, addr: Addr, value: u64) {
-        self.volatile.insert(addr, value);
+        let raw = addr.raw();
+        if raw >= PM_BASE {
+            self.volatile_pm.write(raw - PM_BASE, value);
+        } else {
+            self.volatile_dram.write(raw, value);
+        }
     }
 
     /// Applies one persisted word (a persist-path or persist-buffer entry
@@ -58,9 +194,10 @@ impl MemoryImage {
     /// # Panics
     ///
     /// Panics if `addr` is not in PM.
+    #[inline]
     pub fn persist_word(&mut self, addr: Addr, value: u64) {
         assert!(addr.is_pm(), "persist of DRAM address {addr}");
-        self.persistent.insert(addr, value);
+        self.persistent.write(addr.raw() - PM_BASE, value);
     }
 
     /// Applies a whole-line writeback: the dirty line leaving the cache
@@ -72,31 +209,44 @@ impl MemoryImage {
     pub fn persist_line_snapshot(&mut self, line: LineAddr) {
         assert!(line.is_pm(), "writeback of DRAM line {line}");
         for w in line.words() {
-            let v = self.read_volatile(w);
-            self.persistent.insert(w, v);
+            let off = w.raw() - PM_BASE;
+            self.persistent.write(off, self.volatile_pm.read(off));
         }
     }
 
     /// True when the persistent copy of `addr` differs from the coherent
     /// one (i.e. a fetch from PM would return stale data).
+    #[inline]
     pub fn is_stale(&self, addr: Addr) -> bool {
-        addr.is_pm() && self.read_persistent(addr) != self.read_volatile(addr)
+        if !addr.is_pm() {
+            return false;
+        }
+        let off = addr.raw() - PM_BASE;
+        self.persistent.read(off) != self.volatile_pm.read(off)
     }
 
     /// Simulates power failure: the volatile image is lost and replaced by
     /// the persistent one (recovery code starts from what the device held).
     pub fn crash(&mut self) {
-        self.volatile = self.persistent.clone();
+        self.volatile_pm = self.persistent.clone();
+        self.volatile_dram.clear();
     }
 
     /// A standalone copy of the persistent image, for offline checking.
+    /// Returned as a default-hasher map so snapshot consumers (the
+    /// crashtest checker's public types) stay decoupled from the
+    /// simulator-internal storage choice.
     pub fn persistent_snapshot(&self) -> HashMap<Addr, u64> {
-        self.persistent.clone()
+        let mut out = HashMap::with_capacity(self.persistent.len());
+        self.persistent.for_each(|off, v| {
+            out.insert(Addr::new(PM_BASE + off), v);
+        });
+        out
     }
 
     /// Number of distinct words ever written in the volatile image.
     pub fn volatile_footprint(&self) -> usize {
-        self.volatile.len()
+        self.volatile_dram.len() + self.volatile_pm.len()
     }
 
     /// Number of distinct words ever persisted.

@@ -11,20 +11,24 @@
 //! request arriving at a busy or full queue experiences realistic queueing
 //! delay.
 
-use std::collections::VecDeque;
-
+use pmemspec_engine::arena::ArenaFifo;
 use pmemspec_engine::clock::{Cycle, Duration};
 use pmemspec_engine::config::PmConfig;
+use pmemspec_engine::pagemap::PageMap;
+use pmemspec_isa::addr::{LINE_BYTES, PM_BASE};
 
 /// A bounded service port: fixed capacity, service latency, and a minimum
 /// gap between service starts (bandwidth).
+///
+/// In-flight completion times live in an [`ArenaFifo`] (the entry's
+/// `ready` is its completion time): one flat allocation per port, no
+/// per-entry churn on the request fast path.
 #[derive(Debug, Clone)]
 pub(crate) struct ServicePort {
     latency: Duration,
     gap: Duration,
-    capacity: usize,
     next_free: Cycle,
-    inflight: VecDeque<Cycle>,
+    inflight: ArenaFifo<()>,
     served: u64,
 }
 
@@ -43,9 +47,8 @@ impl ServicePort {
         ServicePort {
             latency,
             gap,
-            capacity,
             next_free: Cycle::ZERO,
-            inflight: VecDeque::with_capacity(capacity),
+            inflight: ArenaFifo::new(capacity),
             served: 0,
         }
     }
@@ -61,12 +64,10 @@ impl ServicePort {
     /// the device's line-write slot).
     pub(crate) fn request_with_gap(&mut self, now: Cycle, gap: Duration) -> Service {
         // Free entries whose service completed by `now`.
-        while self.inflight.front().is_some_and(|&d| d <= now) {
-            self.inflight.pop_front();
-        }
+        while self.inflight.pop_ready(now).is_some() {}
         // A full queue delays admission until the oldest entry completes.
-        let accepted = if self.inflight.len() >= self.capacity {
-            let oldest = self.inflight.pop_front().expect("full queue is non-empty");
+        let accepted = if self.inflight.is_full() {
+            let oldest = self.inflight.pop().expect("full queue is non-empty").ready;
             oldest.max(now)
         } else {
             now
@@ -74,7 +75,7 @@ impl ServicePort {
         let start = accepted.max(self.next_free);
         self.next_free = start + gap;
         let done = start + self.latency;
-        self.inflight.push_back(done);
+        self.inflight.push(done, ()).expect("slot was freed above");
         self.served += 1;
         Service { accepted, done }
     }
@@ -87,15 +88,14 @@ impl ServicePort {
     /// Read-only: entries already complete are skipped, not pruned, so
     /// observers never perturb the port's state.
     pub(crate) fn inflight_at(&self, now: Cycle) -> usize {
-        self.inflight.iter().filter(|&&d| d > now).count()
+        self.inflight.iter().filter(|e| e.ready > now).count()
     }
 
     /// Completion time of the last request in flight, if any is pending at
     /// `now`.
     pub(crate) fn drained_at(&self, now: Cycle) -> Cycle {
         self.inflight
-            .back()
-            .copied()
+            .last_ready()
             .filter(|&d| d > now)
             .unwrap_or(now)
     }
@@ -120,12 +120,40 @@ pub struct PmController {
     write_port: ServicePort,
     /// Open write-pending-queue entries for word coalescing (§4.2: "the
     /// PM controller, which coalesces and buffers the store data"): line
-    /// key plus the device service of the entry's line write.
-    coalesce_ring: VecDeque<(u64, Service)>,
+    /// key and the device service of the entry's line write. LRU order
+    /// lives in `coalesce_stamps` instead of element position, so a
+    /// merge refreshes in place (one store) rather than shuffling the
+    /// ring; eviction scans the stamps for the minimum, which only
+    /// happens on a miss with a full buffer.
+    coalesce_ring: Vec<(u64, Service)>,
+    /// Last-use stamp of each ring slot, kept dense and separate so the
+    /// LRU eviction scan touches 8 cache lines, not the whole ring.
+    coalesce_stamps: [u64; COALESCE_SLOTS],
+    /// PM line index → ring slot (`u32::MAX` = not resident).
+    /// `write_word` runs once per persisted word, so the hit path must
+    /// be a direct array read, not a scan or a hash probe.
+    coalesce_index: PageMap<u32>,
+    /// Last (key, slot) served: persists stream word-by-word through a
+    /// line, so the previous line usually answers from one comparison.
+    /// Validated against the ring before use.
+    coalesce_last: (u64, u32),
+    coalesce_seq: u64,
 }
 
 /// Number of line slots in the coalescing write buffer.
 const COALESCE_SLOTS: usize = 64;
+
+/// Dense index of a PM line key (see [`controller_for`]) for the
+/// coalesce-index [`PageMap`]: real PM line keys sit above
+/// `PM_BASE / LINE_BYTES` and rebase to zero; small synthetic keys
+/// (unit tests, persist-buffer models) are already dense and pass
+/// through unchanged.
+#[inline]
+fn pm_line_index(line_key: u64) -> u64 {
+    line_key
+        .checked_sub(PM_BASE / LINE_BYTES)
+        .unwrap_or(line_key)
+}
 
 /// The controller serving a cache line under line interleaving.
 pub fn controller_for(line_key: u64, controllers: usize) -> usize {
@@ -138,7 +166,11 @@ impl PmController {
         PmController {
             read_port: ServicePort::new(cfg.read_latency, cfg.read_gap, cfg.read_queue),
             write_port: ServicePort::new(cfg.write_latency, cfg.write_gap, cfg.write_queue),
-            coalesce_ring: VecDeque::with_capacity(COALESCE_SLOTS),
+            coalesce_ring: Vec::with_capacity(COALESCE_SLOTS),
+            coalesce_stamps: [0; COALESCE_SLOTS],
+            coalesce_index: PageMap::new(u32::MAX),
+            coalesce_last: (u64::MAX, 0),
+            coalesce_seq: 0,
         }
     }
 
@@ -161,10 +193,27 @@ impl PmController {
     /// open entry and are durable on arrival (the whole WPQ is in the ADR
     /// domain).
     pub fn write_word(&mut self, now: Cycle, line_key: u64) -> Service {
-        if let Some(pos) = self.coalesce_ring.iter().position(|&(k, _)| k == line_key) {
-            // Merge: refresh the entry's LRU position.
-            let (_, svc) = self.coalesce_ring.remove(pos).expect("position valid");
-            self.coalesce_ring.push_back((line_key, svc));
+        self.coalesce_seq += 1;
+        let seq = self.coalesce_seq;
+        if self.coalesce_last.0 == line_key {
+            let slot = self.coalesce_last.1 as usize;
+            if let Some(e) = self.coalesce_ring.get(slot) {
+                if e.0 == line_key {
+                    let svc = e.1;
+                    self.coalesce_stamps[slot] = seq;
+                    return Service {
+                        accepted: now,
+                        done: svc.done.max(now),
+                    };
+                }
+            }
+        }
+        let slot = self.coalesce_index.get(pm_line_index(line_key));
+        if slot != u32::MAX {
+            // Merge: refresh the entry's LRU stamp.
+            let svc = self.coalesce_ring[slot as usize].1;
+            self.coalesce_stamps[slot as usize] = seq;
+            self.coalesce_last = (line_key, slot);
             return Service {
                 accepted: now,
                 done: svc.done.max(now),
@@ -172,9 +221,26 @@ impl PmController {
         }
         let svc = self.write_port.request(now);
         if self.coalesce_ring.len() == COALESCE_SLOTS {
-            self.coalesce_ring.pop_front();
+            // Stamps are unique (one monotonic counter), so the minimum
+            // is the unambiguous least-recently-used entry.
+            let mut lru = 0;
+            for i in 1..COALESCE_SLOTS {
+                if self.coalesce_stamps[i] < self.coalesce_stamps[lru] {
+                    lru = i;
+                }
+            }
+            let evicted = self.coalesce_ring.swap_remove(lru);
+            self.coalesce_stamps[lru] = self.coalesce_stamps[COALESCE_SLOTS - 1];
+            self.coalesce_index.set(pm_line_index(evicted.0), u32::MAX);
+            if let Some(moved) = self.coalesce_ring.get(lru) {
+                self.coalesce_index.set(pm_line_index(moved.0), lru as u32);
+            }
         }
-        self.coalesce_ring.push_back((line_key, svc));
+        let slot = self.coalesce_ring.len() as u32;
+        self.coalesce_index.set(pm_line_index(line_key), slot);
+        self.coalesce_stamps[slot as usize] = seq;
+        self.coalesce_ring.push((line_key, svc));
+        self.coalesce_last = (line_key, slot);
         svc
     }
 

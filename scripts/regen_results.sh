@@ -12,20 +12,36 @@
 # Wall time: ~4 minutes serially on one core (fig10 dominates); a
 # multi-core machine divides that by roughly its core count. Pass
 # --serial to reproduce the single-threaded run exactly.
+#
+# Every step prints its own wall time so suite-cost regressions show up
+# in CI logs per binary instead of hiding inside one opaque total.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release --workspace
 mkdir -p results
+
+now_ms() { date +%s%3N; }
+# took <name> <start_ms>: prints "== name: N.NNNs".
+took() {
+    local ms=$(($(now_ms) - $2))
+    printf '== %s: %d.%03ds\n' "$1" $((ms / 1000)) $((ms % 1000))
+}
+
+suite_start=$(now_ms)
 for bin in table3 fig9 fig11 fig12 misspec ablation_detect ablation_checkpoint \
            extended multi_pmc characterize crashfuzz; do
-    echo "== $bin"
+    start=$(now_ms)
     ./target/release/$bin --json "$@" > "results/$bin.md"
+    took "$bin" "$start"
 done
-echo "== explain (cycle-accounting breakdown)"
-./target/release/explain --out results "$@" > /dev/null
-echo "== fig10 (16/32/64 cores, the slow one)"
+start=$(now_ms)
+./target/release/explain --out results --collapsed "$@" > /dev/null
+took "explain (cycle-accounting breakdown)" "$start"
+start=$(now_ms)
 ./target/release/fig10 --json "$@" > results/fig10.md
+took "fig10 (16/32/64 cores, the slow one)" "$start"
 if command -v python3 >/dev/null; then
     python3 scripts/render_figures.py
 fi
+took "total" "$suite_start"
 echo "done — see results/"

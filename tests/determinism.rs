@@ -35,6 +35,46 @@ fn end_to_end_runs_are_bit_identical() {
     }
 }
 
+/// The calendar-wheel scheduler and the original binary-heap scheduler
+/// must be observationally identical on whole programs: every design ×
+/// every benchmark on the smoke grid (2 cores, 25 FASEs, seed 11), the
+/// full `RunReport` (via its `Debug` rendering, which prints every
+/// counter, histogram, and time series) and the persistent image must
+/// match byte for byte.
+#[test]
+fn event_wheel_matches_reference_scheduler_on_smoke_grid() {
+    for design in DesignKind::ALL_EXTENDED {
+        for benchmark in Benchmark::ALL {
+            let fases = if benchmark == Benchmark::Memcached {
+                8
+            } else {
+                25
+            };
+            let params = WorkloadParams::small(2).with_fases(fases).with_seed(11);
+            let g = benchmark.generate(&params);
+            let program = lower_program(design, &g.program);
+            let cfg = SimConfig::asplos21(2);
+            let (wheel_report, wheel_image) = System::new(cfg.clone(), program.clone())
+                .unwrap()
+                .run_full();
+            let (heap_report, heap_image) = System::new(cfg, program)
+                .unwrap()
+                .with_reference_scheduler()
+                .run_full();
+            assert_eq!(
+                format!("{wheel_report:?}"),
+                format!("{heap_report:?}"),
+                "{design}/{benchmark}: reports diverged between schedulers"
+            );
+            assert_eq!(
+                wheel_image.persistent_snapshot(),
+                heap_image.persistent_snapshot(),
+                "{design}/{benchmark}: persistent images diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn traces_are_deterministic_too() {
     let mut jsons = Vec::new();
