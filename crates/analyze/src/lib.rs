@@ -1,0 +1,599 @@
+#![forbid(unsafe_code)]
+
+//! Static persistency verifier: per-design dataflow lints over lowered
+//! programs.
+//!
+//! The dynamic oracles (crash fuzzer, exhaustive model checker,
+//! axiomatic Px86 oracle) verify persist orderings by *running* a
+//! program; a lowering bug — a dropped `CLWB`, a reordered undo-log
+//! entry — is only caught if a sampled crash point happens to expose
+//! it. This crate closes that gap at zero simulation cost: a forward
+//! abstract interpretation of each thread's lowered op stream checks
+//! every persist-ordering obligation the design's persistency class
+//! imposes, against the *same* per-class axioms the axiomatic oracle
+//! uses ([`pmemspec_isa::persist`]) — one definition of "allowed" for
+//! static and dynamic verdicts alike.
+//!
+//! ## Rules
+//!
+//! | rule | checks |
+//! |---|---|
+//! | `structure` | [`Program::validate`]: FASE nesting, lock balance, spec pairing, design op set |
+//! | `store-outside-fase` | every PM store executes between FASE markers |
+//! | `order-point` | at each `LogOrder`/`DataOrder` obligation, every earlier PM store persists before every later one |
+//! | `unflushed-store` | IntelX86: every PM store has a covering `CLWB` before its FASE ends |
+//! | `fase-durability` | every PM store reaches a draining barrier before its FASE's end marker |
+//! | `spec-coverage` | PMEM-Spec: PM stores in a critical section are `spec-assign`-tagged |
+//!
+//! Obligations are keyed on the *abstract* program (via the lowering
+//! metadata, [`pmemspec_isa::ProgramMeta`]): an ordering point's
+//! obligation exists even when the design emits no instruction for it
+//! (PMEM-Spec's FIFO path), and survives mutations of the lowered
+//! stream. Whether the obligation is *realized* is judged from the
+//! lowered ops alone, through [`thread_persist_keys`]'s closed-form
+//! [`OrderKey`]s (the shared axioms, without the axiomatic oracle's
+//! quadratic-size edge lists).
+//!
+//! The mutation self-test ([`mutate`]) pins the analyzer's power: a
+//! seeded corpus of broken lowerings (dropped fences, CLWBs, markers,
+//! spec tags; reordered log writes) must each be flagged with the
+//! expected rule, and a sampled subset is cross-confirmed dynamically —
+//! the exhaustive model checker reaches an image the intact program's
+//! axioms forbid.
+
+pub mod mutate;
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pmemspec_isa::addr::LineAddr;
+use pmemspec_isa::{
+    thread_persist_keys, DesignKind, Op, OrderKey, Program, ProgramMeta, ThreadMeta,
+    ThreadPersistOrder,
+};
+
+/// The analyzer's rule set. Labels are stable (they appear in
+/// `results/lint.{md,json}` and the mutation kill matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Structural well-formedness ([`Program::validate`]).
+    Structure,
+    /// A PM store outside any FASE.
+    StoreOutsideFase,
+    /// An ordering obligation some pair of persists violates.
+    OrderPoint,
+    /// IntelX86: a PM store with no covering `CLWB` before FASE end.
+    UnflushedStore,
+    /// A PM store not durably drained by its FASE's end marker.
+    FaseDurability,
+    /// PMEM-Spec: an untagged PM store inside a critical section.
+    SpecCoverage,
+}
+
+impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 6] = [
+        Rule::Structure,
+        Rule::StoreOutsideFase,
+        Rule::OrderPoint,
+        Rule::UnflushedStore,
+        Rule::FaseDurability,
+        Rule::SpecCoverage,
+    ];
+
+    /// Stable report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rule::Structure => "structure",
+            Rule::StoreOutsideFase => "store-outside-fase",
+            Rule::OrderPoint => "order-point",
+            Rule::UnflushedStore => "unflushed-store",
+            Rule::FaseDurability => "fase-durability",
+            Rule::SpecCoverage => "spec-coverage",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Offending thread index.
+    pub thread: usize,
+    /// Offending op index within the thread, when one op is to blame.
+    pub op_index: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op_index {
+            Some(i) => write!(
+                f,
+                "[{}] thread {} op {}: {}",
+                self.rule, self.thread, i, self.message
+            ),
+            None => write!(
+                f,
+                "[{}] thread {}: {}",
+                self.rule, self.thread, self.message
+            ),
+        }
+    }
+}
+
+/// What the analyzer covered (reported alongside findings so "zero
+/// findings" is visibly non-vacuous).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LintStats {
+    /// Threads analyzed.
+    pub threads: usize,
+    /// PM stores (persist events) checked.
+    pub pm_stores: usize,
+    /// Ordering obligations checked.
+    pub order_points: usize,
+    /// FASEs checked for durability.
+    pub fases: usize,
+}
+
+/// The analyzer's verdict on one lowered program.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Design the program was lowered for.
+    pub design: DesignKind,
+    /// All findings, sorted by (thread, op, rule).
+    pub findings: Vec<Finding>,
+    /// Coverage counters.
+    pub stats: LintStats,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The distinct rules that fired.
+    pub fn fired_rules(&self) -> Vec<Rule> {
+        let mut rules: Vec<Rule> = self.findings.iter().map(|f| f.rule).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        rules
+    }
+}
+
+/// Statically verifies `program` against its design's persist-ordering
+/// obligations. `meta` must be the lowering metadata produced alongside
+/// it by [`pmemspec_isa::lower_program_with_meta`] (mutated in lockstep,
+/// for mutants).
+///
+/// If structural validation fails, the structure finding is returned
+/// alone — the dataflow rules assume balanced markers and locks.
+///
+/// # Panics
+///
+/// Panics if `meta` has a different thread count than `program`.
+pub fn analyze_program(program: &Program, meta: &ProgramMeta) -> LintReport {
+    let design = program.design();
+    assert_eq!(
+        meta.threads.len(),
+        program.thread_count(),
+        "lowering metadata must align with the program"
+    );
+    let mut stats = LintStats {
+        threads: program.thread_count(),
+        ..LintStats::default()
+    };
+    let mut findings = Vec::new();
+    if let Err(e) = program.validate() {
+        findings.push(Finding {
+            rule: Rule::Structure,
+            thread: e.thread,
+            op_index: e.op_index,
+            message: e.message,
+        });
+        return LintReport {
+            design,
+            findings,
+            stats,
+        };
+    }
+    for (tid, thread) in program.threads().enumerate() {
+        analyze_thread(
+            design,
+            tid,
+            thread.ops(),
+            &meta.threads[tid],
+            &mut findings,
+            &mut stats,
+        );
+    }
+    findings.sort_by(|a, b| {
+        (a.thread, a.op_index.unwrap_or(usize::MAX), a.rule).cmp(&(
+            b.thread,
+            b.op_index.unwrap_or(usize::MAX),
+            b.rule,
+        ))
+    });
+    LintReport {
+        design,
+        findings,
+        stats,
+    }
+}
+
+/// Does this op drain the design's persist machinery (make everything
+/// previously accepted into it durable)? Mirrors the blocking fences of
+/// the abstract machine in `crashtest::modelcheck`.
+fn is_drain(design: DesignKind, op: &Op) -> bool {
+    match design {
+        DesignKind::IntelX86 => matches!(op, Op::Sfence),
+        // DPO drains at the fence and at both lock operations (§8.2.2).
+        DesignKind::Dpo => matches!(op, Op::Sfence | Op::Lock { .. } | Op::Unlock { .. }),
+        DesignKind::Hops => matches!(op, Op::Dfence),
+        DesignKind::PmemSpec => matches!(op, Op::SpecBarrier),
+        DesignKind::StrandWeaver => matches!(op, Op::JoinStrand),
+    }
+}
+
+fn analyze_thread(
+    design: DesignKind,
+    tid: usize,
+    ops: &[Op],
+    tm: &ThreadMeta,
+    findings: &mut Vec<Finding>,
+    stats: &mut LintStats,
+) {
+    assert_eq!(
+        tm.ops.len(),
+        ops.len(),
+        "thread {tid}: metadata must align with ops"
+    );
+    let order = thread_persist_keys(design, ops);
+    stats.pm_stores += order.len();
+    stats.order_points += tm.order_points.len();
+
+    // FASE spans (validate guarantees balanced, non-nested markers).
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut open: Option<usize> = None;
+    for (pos, op) in ops.iter().enumerate() {
+        match op {
+            Op::FaseBegin { .. } => open = Some(pos),
+            Op::FaseEnd { .. } => {
+                if let Some(b) = open.take() {
+                    spans.push((b, pos));
+                }
+            }
+            _ => {}
+        }
+    }
+    stats.fases += spans.len();
+    let span_of = |pos: usize| -> Option<(usize, usize)> {
+        let i = spans.partition_point(|&(b, _)| b < pos);
+        (i > 0 && spans[i - 1].1 > pos).then(|| spans[i - 1])
+    };
+
+    // IntelX86: position of each event's covering CLWB (one reverse
+    // scan; the map holds, per line, the nearest CLWB after the cursor).
+    let flush_pos: Vec<Option<usize>> = if design == DesignKind::IntelX86 {
+        let mut next_clwb: HashMap<LineAddr, usize> = HashMap::new();
+        let mut out = vec![None; order.len()];
+        let mut ev = order.len();
+        for pos in (0..ops.len()).rev() {
+            match ops[pos] {
+                Op::Clwb { addr } => {
+                    next_clwb.insert(addr.line(), pos);
+                }
+                Op::Store { addr, .. } if addr.is_pm() => {
+                    ev -= 1;
+                    debug_assert_eq!(order.store_ops[ev], pos);
+                    out[ev] = next_clwb.get(&addr.line()).copied();
+                }
+                _ => {}
+            }
+        }
+        out
+    } else {
+        Vec::new()
+    };
+
+    // Durability: every PM store must reach a draining barrier before
+    // its FASE's end marker (on IntelX86, via a covering CLWB first).
+    let drains: Vec<usize> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| is_drain(design, op))
+        .map(|(pos, _)| pos)
+        .collect();
+    for (ev, &pos) in order.store_ops.iter().enumerate() {
+        let Op::Store { addr, .. } = ops[pos] else {
+            unreachable!("store_ops point at stores");
+        };
+        let Some((_, end)) = span_of(pos) else {
+            findings.push(Finding {
+                rule: Rule::StoreOutsideFase,
+                thread: tid,
+                op_index: Some(pos),
+                message: format!("PM store to {addr} outside any FASE"),
+            });
+            continue;
+        };
+        let gate = if design == DesignKind::IntelX86 {
+            match flush_pos[ev] {
+                Some(f) if f < end => f,
+                _ => {
+                    findings.push(Finding {
+                        rule: Rule::UnflushedStore,
+                        thread: tid,
+                        op_index: Some(pos),
+                        message: format!(
+                            "PM store to {addr} has no covering CLWB before its FASE ends \
+                             (op {end})"
+                        ),
+                    });
+                    continue;
+                }
+            }
+        } else {
+            pos
+        };
+        let d = drains.partition_point(|&q| q <= gate);
+        if d == drains.len() || drains[d] > end {
+            let barrier = match drains.get(d) {
+                Some(&late) => format!("first drain is op {late}, after the FASE end"),
+                None => "no drain follows it".to_string(),
+            };
+            findings.push(Finding {
+                rule: Rule::FaseDurability,
+                thread: tid,
+                op_index: Some(pos),
+                message: format!(
+                    "PM store to {addr} is not durable by its FASE's end (op {end}): {barrier}"
+                ),
+            });
+        }
+    }
+
+    check_order_points(design, tid, ops, tm, &order, findings);
+
+    // PMEM-Spec: persists issued in a critical section must be
+    // spec-tagged, or misspeculation recovery cannot revoke them (§5).
+    if design == DesignKind::PmemSpec {
+        let mut lock_depth = 0usize;
+        let mut spec = false;
+        for (pos, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Lock { .. } => lock_depth += 1,
+                Op::Unlock { .. } => lock_depth = lock_depth.saturating_sub(1),
+                Op::SpecAssign => spec = true,
+                Op::SpecRevoke => spec = false,
+                Op::Store { addr, .. } if addr.is_pm() && lock_depth > 0 && !spec => {
+                    findings.push(Finding {
+                        rule: Rule::SpecCoverage,
+                        thread: tid,
+                        op_index: Some(pos),
+                        message: format!(
+                            "PM store to {addr} inside a critical section without \
+                                 spec-assign coverage"
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Aggregates over the boundary join generation of a Before/After split
+/// (the only generation where pairs need the strand/epoch comparison).
+#[derive(Debug, Clone, Copy)]
+struct GenAgg {
+    gen: u32,
+    /// Before side: max `out_epoch`; After side: min `in_epoch`.
+    epoch: u32,
+    min_strand: u32,
+    max_strand: u32,
+}
+
+/// Checks every ordering obligation: for the order point at abstract
+/// index `A`, every persist with a smaller abstract index must persist
+/// before every persist with a larger one — judged via the shared
+/// closed-form [`OrderKey`]s, so a fence that was dropped, moved, or
+/// never emitted where the class needed one shows up as a concrete
+/// unordered pair.
+///
+/// The scan is O(n log n): events sorted by abstract index once, a
+/// prefix aggregate maintained incrementally, suffix aggregates
+/// precomputed. A pairwise witness search runs only on violation.
+fn check_order_points(
+    design: DesignKind,
+    tid: usize,
+    ops: &[Op],
+    tm: &ThreadMeta,
+    order: &ThreadPersistOrder,
+    findings: &mut Vec<Finding>,
+) {
+    let n = order.len();
+    if n == 0 || tm.order_points.is_empty() {
+        return;
+    }
+    let abs: Vec<u32> = order
+        .store_ops
+        .iter()
+        .map(|&p| tm.ops[p].abs_index)
+        .collect();
+    let mut by_abs: Vec<usize> = (0..n).collect();
+    by_abs.sort_unstable_by_key(|&e| abs[e]);
+
+    // suffix[k]: over events by_abs[k..], the minimum join generation
+    // and (within that generation) min in_epoch and the strand range.
+    let mut suffix: Vec<GenAgg> = vec![
+        GenAgg {
+            gen: u32::MAX,
+            epoch: u32::MAX,
+            min_strand: u32::MAX,
+            max_strand: 0,
+        };
+        n + 1
+    ];
+    for k in (0..n).rev() {
+        let key = order.keys[by_abs[k]];
+        let s = suffix[k + 1];
+        suffix[k] = if key.join_gen < s.gen {
+            GenAgg {
+                gen: key.join_gen,
+                epoch: key.in_epoch,
+                min_strand: key.strand,
+                max_strand: key.strand,
+            }
+        } else if key.join_gen == s.gen {
+            GenAgg {
+                gen: s.gen,
+                epoch: s.epoch.min(key.in_epoch),
+                min_strand: s.min_strand.min(key.strand),
+                max_strand: s.max_strand.max(key.strand),
+            }
+        } else {
+            s
+        };
+    }
+
+    // Prefix: the maximum join generation seen and its aggregate.
+    let mut before: Option<GenAgg> = None;
+    let mut k = 0usize;
+    for &point in &tm.order_points {
+        while k < n && abs[by_abs[k]] < point {
+            let key = order.keys[by_abs[k]];
+            before = Some(match before {
+                Some(b) if key.join_gen < b.gen => b,
+                Some(b) if key.join_gen == b.gen => GenAgg {
+                    gen: b.gen,
+                    epoch: b.epoch.max(key.out_epoch),
+                    min_strand: b.min_strand.min(key.strand),
+                    max_strand: b.max_strand.max(key.strand),
+                },
+                _ => GenAgg {
+                    gen: key.join_gen,
+                    epoch: key.out_epoch,
+                    min_strand: key.strand,
+                    max_strand: key.strand,
+                },
+            });
+            k += 1;
+        }
+        if k == 0 || k == n {
+            continue; // no persists on one side of the obligation
+        }
+        let b = before.expect("k > 0");
+        let a = suffix[k];
+        // Pairs with b.gen < a.gen are ordered by the join; pairs with
+        // b.gen > a.gen never are; at the boundary generation the pair
+        // must share a strand and be fence-separated.
+        let violated = match b.gen.cmp(&a.gen) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => {
+                b.min_strand != b.max_strand
+                    || a.min_strand != a.max_strand
+                    || b.min_strand != a.min_strand
+                    || b.epoch >= a.epoch
+            }
+        };
+        if violated {
+            let (eb, ea) = order_point_witness(order, &by_abs, k);
+            let (pb, pa) = (order.store_ops[eb], order.store_ops[ea]);
+            let (ab, aa) = (store_addr(ops, pb), store_addr(ops, pa));
+            findings.push(Finding {
+                rule: Rule::OrderPoint,
+                thread: tid,
+                op_index: Some(pa),
+                message: format!(
+                    "ordering point at abstract op {point} is not realized on {design}: \
+                     PM store to {ab} (op {pb}) is not ordered before PM store to {aa} (op {pa})"
+                ),
+            });
+        }
+    }
+}
+
+/// A concrete unordered pair across the split (exists whenever the
+/// aggregate check reports a violation).
+fn order_point_witness(order: &ThreadPersistOrder, by_abs: &[usize], k: usize) -> (usize, usize) {
+    for &b in &by_abs[..k] {
+        for &a in &by_abs[k..] {
+            if !OrderKey::before(order.keys[b], order.keys[a]) {
+                return (b, a);
+            }
+        }
+    }
+    unreachable!("aggregate violation implies a witness pair");
+}
+
+fn store_addr(ops: &[Op], pos: usize) -> pmemspec_isa::Addr {
+    let Op::Store { addr, .. } = ops[pos] else {
+        unreachable!("witness positions are stores");
+    };
+    addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemspec_isa::{lower_program_with_meta, AbsProgram, AbsThread, Addr, LockId};
+
+    fn sample() -> AbsProgram {
+        let mut t = AbsThread::new();
+        t.begin_fase();
+        t.acquire(LockId(0));
+        t.log_write(Addr::pm(0), 1u64).log_write(Addr::pm(8), 2u64);
+        t.log_order();
+        t.data_write(Addr::pm(4096), 7u64);
+        t.data_order();
+        t.log_write(Addr::pm(128), 1u64);
+        t.release(LockId(0));
+        t.end_fase();
+        let mut p = AbsProgram::new();
+        p.add_thread(t);
+        p
+    }
+
+    #[test]
+    fn intact_lowerings_are_clean() {
+        for design in DesignKind::ALL_EXTENDED {
+            let (program, meta) = lower_program_with_meta(design, &sample());
+            let report = analyze_program(&program, &meta);
+            assert!(
+                report.is_clean(),
+                "{design}: unexpected findings {:?}",
+                report.findings
+            );
+            assert_eq!(report.stats.pm_stores, 4, "{design}");
+            assert_eq!(report.stats.order_points, 2, "{design}");
+            assert_eq!(report.stats.fases, 1, "{design}");
+        }
+    }
+
+    #[test]
+    fn rule_labels_are_stable() {
+        let labels: Vec<&str> = Rule::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "structure",
+                "store-outside-fase",
+                "order-point",
+                "unflushed-store",
+                "fase-durability",
+                "spec-coverage",
+            ]
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! Deterministic mutation self-test corpus for the static verifier.
+//!
+//! Each mutant starts from one intact lowered program (an undo-shaped
+//! two-FASE critical-section workload, lowered per design) and breaks
+//! exactly one persist obligation: a dropped fence, CLWB, FASE marker,
+//! or spec tag, or a reordered log write. The corpus records which rule
+//! must flag the damage; `tests/static_lints.rs` asserts every mutant
+//! is caught with that rule, and cross-confirms the ordering mutants
+//! dynamically — the exhaustive model checker reaches a persisted image
+//! the *intact* program's axioms forbid.
+//!
+//! Mutations edit the lowered op stream and its lowering metadata in
+//! lockstep, so obligations keyed on abstract indices (ordering points)
+//! survive the mutation — which is exactly what makes dropped-fence
+//! mutants detectable at all.
+
+use pmemspec_isa::{
+    lower_program_with_meta, AbsProgram, AbsThread, Addr, DesignKind, LockId, Op, OpRole, Program,
+    ProgramMeta, ThreadProgram,
+};
+
+use crate::Rule;
+
+/// One corpus entry: a broken lowering plus what the analyzer must say
+/// about it.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// Stable name (design label + damage description).
+    pub name: String,
+    /// Design the base program was lowered for.
+    pub design: DesignKind,
+    /// The rule that must appear among the findings.
+    pub expected: Rule,
+    /// The mutated program.
+    pub program: Program,
+    /// Lowering metadata, mutated in lockstep.
+    pub meta: ProgramMeta,
+    /// For ordering mutants: two PM words `(earlier, later)` whose
+    /// inverted persist the abstract machine can exhibit — the dynamic
+    /// cross-confirmation enumerates the mutant and asserts an outcome
+    /// the intact program's axiomatic allowed set forbids. `None` for
+    /// structural/durability damage, which an untimed crash model
+    /// cannot observe (every prefix is a legal crash image).
+    pub observed: Option<[Addr; 2]>,
+}
+
+/// The corpus base: log two undo entries, order, write in place, order,
+/// truncate — all in a critical section — then a second bare FASE.
+/// Exercises every obligation class on every design.
+pub fn base_program() -> AbsProgram {
+    let mut t = AbsThread::new();
+    t.begin_fase(); // abs 0
+    t.acquire(LockId(0)); // abs 1
+    t.log_write(log_a(), 1u64); // abs 2
+    t.log_write(log_b(), 2u64); // abs 3
+    t.log_order(); // abs 4
+    t.data_write(data(), 7u64); // abs 5
+    t.data_order(); // abs 6
+    t.log_write(truncate(), 1u64); // abs 7
+    t.release(LockId(0)); // abs 8
+    t.end_fase(); // abs 9
+    t.begin_fase(); // abs 10
+    t.data_write(data2(), 9u64); // abs 11
+    t.end_fase(); // abs 12
+    let mut p = AbsProgram::new();
+    p.add_thread(t);
+    p
+}
+
+/// First undo-log word (shares a cache line with [`log_b`], so one
+/// coalesced CLWB covers both on IntelX86).
+pub fn log_a() -> Addr {
+    Addr::pm(0)
+}
+
+/// Second undo-log word.
+pub fn log_b() -> Addr {
+    Addr::pm(8)
+}
+
+/// The in-place data word the log entries protect.
+pub fn data() -> Addr {
+    Addr::pm(4096)
+}
+
+/// The log-truncate word.
+pub fn truncate() -> Addr {
+    Addr::pm(128)
+}
+
+/// The second FASE's data word.
+pub fn data2() -> Addr {
+    Addr::pm(4096 + 128)
+}
+
+/// Removes the ops at `positions` (thread 0), metadata in lockstep.
+fn drop_ops(program: &Program, meta: &ProgramMeta, positions: &[usize]) -> (Program, ProgramMeta) {
+    let keep = |i: &usize| !positions.contains(i);
+    let ops: Vec<Op> = program
+        .thread(0)
+        .ops()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| keep(i))
+        .map(|(_, &op)| op)
+        .collect();
+    let mut m = meta.clone();
+    m.threads[0].ops = m.threads[0]
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| keep(i))
+        .map(|(_, &om)| om)
+        .collect();
+    (
+        Program::new(program.design(), vec![ThreadProgram::new(ops)]),
+        m,
+    )
+}
+
+/// Moves the op at `from` to just after the op at `to` (`from < to`),
+/// metadata in lockstep.
+fn move_after(
+    program: &Program,
+    meta: &ProgramMeta,
+    from: usize,
+    to: usize,
+) -> (Program, ProgramMeta) {
+    assert!(from < to, "move_after only moves ops later");
+    let mut ops = program.thread(0).ops().to_vec();
+    let op = ops.remove(from);
+    ops.insert(to, op);
+    let mut m = meta.clone();
+    let om = m.threads[0].ops.remove(from);
+    m.threads[0].ops.insert(to, om);
+    (
+        Program::new(program.design(), vec![ThreadProgram::new(ops)]),
+        m,
+    )
+}
+
+/// Position of the `nth` (0-based) op satisfying `pred`, in thread 0.
+fn find_nth(
+    program: &Program,
+    meta: &ProgramMeta,
+    nth: usize,
+    pred: impl Fn(&Op, OpRole) -> bool,
+) -> usize {
+    program
+        .thread(0)
+        .ops()
+        .iter()
+        .zip(&meta.threads[0].ops)
+        .enumerate()
+        .filter(|(_, (op, om))| pred(op, om.role))
+        .map(|(i, _)| i)
+        .nth(nth)
+        .unwrap_or_else(|| panic!("no {nth}th matching op in the base lowering"))
+}
+
+/// Builds the full seeded corpus: ≥25 mutants spanning every analyzer
+/// rule and every design, each tagged with the rule that must flag it.
+pub fn corpus() -> Vec<Mutant> {
+    let mut mutants = Vec::new();
+    for design in DesignKind::ALL_EXTENDED {
+        let (program, meta) = lower_program_with_meta(design, &base_program());
+        let at =
+            |nth: usize, pred: &dyn Fn(&Op, OpRole) -> bool| find_nth(&program, &meta, nth, pred);
+        let mut push = |damage: &str, expected: Rule, mutated: (Program, ProgramMeta), observed| {
+            mutants.push(Mutant {
+                name: format!("{}/{damage}", design.label()),
+                design,
+                expected,
+                program: mutated.0,
+                meta: mutated.1,
+                observed,
+            });
+        };
+
+        // structure: drop the last FASE's end marker — unmatched begin.
+        let end1 = at(1, &|_, role| role == OpRole::FaseEnd);
+        push(
+            "drop-fase-end-marker",
+            Rule::Structure,
+            drop_ops(&program, &meta, &[end1]),
+            None,
+        );
+
+        // store-outside-fase: drop the last FASE's marker *pair* (ids
+        // stay dense, so structure still validates) — its store now
+        // executes outside any FASE.
+        let begin1 = at(1, &|_, role| role == OpRole::FaseBegin);
+        push(
+            "drop-last-fase-markers",
+            Rule::StoreOutsideFase,
+            drop_ops(&program, &meta, &[begin1, end1]),
+            None,
+        );
+
+        // fase-durability: drop the last FASE's durability barrier —
+        // its store never reaches a drain. (The *first* FASE's barrier
+        // would not do on DPO, where the lock release also drains.)
+        let barrier1 = at(1, &|_, role| role == OpRole::Durability);
+        push(
+            "drop-end-barrier",
+            Rule::FaseDurability,
+            drop_ops(&program, &meta, &[barrier1]),
+            None,
+        );
+
+        // order-point, dropped-fence flavor: epoch and strand classes
+        // realize LogOrder with a fence; dropping it leaves the log and
+        // data writes in one epoch. (Strict classes keep order without
+        // the fence — dropping DPO's sfence is correctly *not* a
+        // violation — so they get the reorder flavor only.)
+        if !matches!(design, DesignKind::Dpo | DesignKind::PmemSpec) {
+            let log_order = at(0, &|_, role| role == OpRole::Order);
+            push(
+                "drop-log-order-fence",
+                Rule::OrderPoint,
+                drop_ops(&program, &meta, &[log_order]),
+                Some([log_a(), data()]),
+            );
+        }
+
+        // order-point, reorder flavor: move the second undo-log write
+        // after the in-place data write, across the LogOrder
+        // obligation. Every class must flag it — including PMEM-Spec,
+        // which emits *no instruction* for the obligation.
+        let log2 = at(0, &|op, role| {
+            role == OpRole::Log && matches!(op, Op::Store { addr, .. } if *addr == log_b())
+        });
+        let data_st = at(0, &|_, role| role == OpRole::Data);
+        push(
+            "move-log-write-after-data",
+            Rule::OrderPoint,
+            move_after(&program, &meta, log2, data_st),
+            match design {
+                // Strict classes: the FIFO persists the moved log entry
+                // after the data write — observable. Epoch/strand
+                // classes already allow either order within an epoch
+                // *after the fence is gone*, but here the fence is
+                // still present, so the machine cannot exhibit the
+                // inversion; static analysis alone catches it.
+                DesignKind::Dpo | DesignKind::PmemSpec => Some([log_b(), data()]),
+                _ => None,
+            },
+        );
+
+        match design {
+            DesignKind::IntelX86 => {
+                // unflushed-store: drop the coalesced CLWB covering
+                // both undo-log words — the logs never persist, the
+                // data does.
+                let log_clwb = at(0, &|op, role| {
+                    role == OpRole::Flush
+                        && matches!(op, Op::Clwb { addr } if addr.line() == log_a().line())
+                });
+                push(
+                    "drop-log-clwb",
+                    Rule::UnflushedStore,
+                    drop_ops(&program, &meta, &[log_clwb]),
+                    Some([log_a(), data()]),
+                );
+                // unflushed-store: drop the data write's CLWB. Not
+                // dynamically confirmable (the data simply never
+                // persists — every resulting image is prefix-legal).
+                let data_clwb = at(0, &|op, role| {
+                    role == OpRole::Flush
+                        && matches!(op, Op::Clwb { addr } if addr.line() == data().line())
+                });
+                push(
+                    "drop-data-clwb",
+                    Rule::UnflushedStore,
+                    drop_ops(&program, &meta, &[data_clwb]),
+                    None,
+                );
+            }
+            DesignKind::PmemSpec => {
+                // spec-coverage: drop the spec-assign/revoke pair (a
+                // matched pair keeps structure valid) — every PM store
+                // in the critical section loses its speculation tag.
+                let assign = at(0, &|op, _| matches!(op, Op::SpecAssign));
+                let revoke = at(0, &|op, _| matches!(op, Op::SpecRevoke));
+                push(
+                    "drop-spec-pair",
+                    Rule::SpecCoverage,
+                    drop_ops(&program, &meta, &[assign, revoke]),
+                    None,
+                );
+            }
+            _ => {}
+        }
+
+        // order-point, reorder flavor across the DataOrder obligation:
+        // move the in-place data write after the log truncate.
+        let trunc = at(0, &|op, role| {
+            role == OpRole::Log && matches!(op, Op::Store { addr, .. } if *addr == truncate())
+        });
+        push(
+            "move-data-write-after-truncate",
+            Rule::OrderPoint,
+            move_after(&program, &meta, data_st, trunc),
+            match design {
+                DesignKind::Dpo | DesignKind::PmemSpec => Some([data(), truncate()]),
+                _ => None,
+            },
+        );
+    }
+    mutants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_spans_rules_and_designs() {
+        let corpus = corpus();
+        assert!(corpus.len() >= 25, "got {}", corpus.len());
+        for rule in Rule::ALL {
+            assert!(
+                corpus.iter().any(|m| m.expected == rule),
+                "no mutant for rule {rule}"
+            );
+        }
+        for design in DesignKind::ALL_EXTENDED {
+            let per_design = corpus.iter().filter(|m| m.design == design).count();
+            assert!(per_design >= 5, "{design}: only {per_design} mutants");
+        }
+        let dynamic = corpus.iter().filter(|m| m.observed.is_some()).count();
+        assert!(dynamic >= 5, "only {dynamic} dynamically confirmable");
+        // Names are unique (they key the kill matrix).
+        let mut names: Vec<&str> = corpus.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+    }
+
+    /// The kill matrix: every seeded mutant is flagged, with the rule
+    /// the corpus says must fire.
+    #[test]
+    fn every_mutant_is_caught_with_its_expected_rule() {
+        for m in corpus() {
+            let report = crate::analyze_program(&m.program, &m.meta);
+            assert!(
+                report.fired_rules().contains(&m.expected),
+                "{}: expected {} among findings, got {:?}",
+                m.name,
+                m.expected,
+                report.findings
+            );
+        }
+    }
+
+    /// Negative control: DPO emits the same CLWB+SFENCE stream as
+    /// IntelX86, but its persist buffer makes every store durable by
+    /// the next drain regardless of flushes — dropping a CLWB on DPO
+    /// breaks nothing, and the analyzer must NOT flag it. (The same
+    /// drop on IntelX86 is the `drop-log-clwb` mutant.)
+    #[test]
+    fn dpo_clwb_drop_is_not_flagged() {
+        let (program, meta) = lower_program_with_meta(DesignKind::Dpo, &base_program());
+        let clwb = find_nth(&program, &meta, 0, |op, _| matches!(op, Op::Clwb { .. }));
+        let (mutated, mmeta) = drop_ops(&program, &meta, &[clwb]);
+        let report = crate::analyze_program(&mutated, &mmeta);
+        assert!(
+            report.is_clean(),
+            "spurious findings: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn mutants_differ_from_the_intact_lowering() {
+        for m in corpus() {
+            let (intact, _) = lower_program_with_meta(m.design, &base_program());
+            assert_ne!(intact, m.program, "{}", m.name);
+            assert_eq!(
+                m.program.thread(0).ops().len(),
+                m.meta.threads[0].ops.len(),
+                "{}: metadata stays aligned",
+                m.name
+            );
+        }
+    }
+}

@@ -59,7 +59,7 @@ fn main() {
             }
         }
         let geo = (ln_sum / f64::from(n)).exp();
-        let rel = base.map(|b: f64| geo / b).unwrap_or(1.0);
+        let rel = base.map_or(1.0, |b: f64| geo / b);
         if base.is_none() {
             base = Some(geo);
         }

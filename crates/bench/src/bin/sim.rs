@@ -104,19 +104,19 @@ fn parse_args() -> Result<Option<Options>, String> {
                     value("--persist-path-ns")?
                         .parse()
                         .map_err(|e| format!("{e}"))?,
-                )
+                );
             }
             "--spec-buffer" => {
                 opts.spec_buffer = Some(
                     value("--spec-buffer")?
                         .parse()
                         .map_err(|e| format!("{e}"))?,
-                )
+                );
             }
             "--controllers" => {
                 opts.controllers = value("--controllers")?
                     .parse()
-                    .map_err(|e| format!("{e}"))?
+                    .map_err(|e| format!("{e}"))?;
             }
             "--unordered-network" => opts.unordered_network = true,
             "--eager-recovery" => opts.eager = true,

@@ -26,8 +26,11 @@
 //! cores and reduce in spec order — parallel output is byte-identical
 //! to `--serial`.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod json;
+pub mod lint;
 pub mod sweep;
 
 pub use args::BenchArgs;

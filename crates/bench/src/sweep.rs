@@ -349,7 +349,7 @@ pub fn worker_count(args: &BenchArgs) -> usize {
     {
         return n;
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Maps `f` over `0..jobs` on `workers` scoped threads, returning the

@@ -51,6 +51,8 @@
 //! # Ok::<(), pmem_spec::BuildSystemError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bloom;
 pub mod persist_buffer;
 pub mod profile;

@@ -2092,25 +2092,41 @@ impl System {
             Machinery::PmemSpec { spec, .. } => {
                 self.stats.add(
                     "spec_buffer.allocations",
-                    spec.iter().map(|s| s.allocations()).sum(),
+                    spec.iter()
+                        .map(super::spec_buffer::SpecBuffer::allocations)
+                        .sum(),
                 );
                 self.stats.add(
                     "spec_buffer.expirations",
-                    spec.iter().map(|s| s.expirations()).sum(),
+                    spec.iter()
+                        .map(super::spec_buffer::SpecBuffer::expirations)
+                        .sum(),
                 );
                 (
-                    spec.iter().map(|s| s.load_detections()).sum(),
-                    spec.iter().map(|s| s.store_detections()).sum(),
-                    spec.iter().map(|s| s.overflows()).sum(),
+                    spec.iter()
+                        .map(super::spec_buffer::SpecBuffer::load_detections)
+                        .sum(),
+                    spec.iter()
+                        .map(super::spec_buffer::SpecBuffer::store_detections)
+                        .sum(),
+                    spec.iter()
+                        .map(super::spec_buffer::SpecBuffer::overflows)
+                        .sum(),
                 )
             }
             Machinery::Hops { buffers, .. } | Machinery::Dpo { buffers, .. } => {
-                let stalls: u64 = buffers.iter().map(|b| b.full_stalls()).sum();
+                let stalls: u64 = buffers
+                    .iter()
+                    .map(super::persist_buffer::EpochPersistBuffer::full_stalls)
+                    .sum();
                 self.stats.add("persist_buffer.full_stalls", stalls);
                 (0, 0, 0)
             }
             Machinery::StrandWeaver { buffers } => {
-                let stalls: u64 = buffers.iter().map(|b| b.full_stalls()).sum();
+                let stalls: u64 = buffers
+                    .iter()
+                    .map(super::strand_buffer::StrandBuffer::full_stalls)
+                    .sum();
                 self.stats.add("strand_buffer.full_stalls", stalls);
                 (0, 0, 0)
             }
@@ -2127,8 +2143,16 @@ impl System {
             store_inversions_ground_truth: self.inversions,
             persist_order_violations: self.persist_order_violations,
             spec_buffer_overflows: overflows,
-            pm_reads: self.pmcs.iter().map(|p| p.reads()).sum(),
-            pm_writes: self.pmcs.iter().map(|p| p.writes()).sum(),
+            pm_reads: self
+                .pmcs
+                .iter()
+                .map(pmemspec_mem::PmController::reads)
+                .sum(),
+            pm_writes: self
+                .pmcs
+                .iter()
+                .map(pmemspec_mem::PmController::writes)
+                .sum(),
             stats: self.stats,
         }
     }

@@ -5,29 +5,18 @@
 //! partial *persist-before* order, and the crash-observable images are
 //! exactly the results of applying a downward-closed subset (a "prefix")
 //! of the events in some order consistent with that partial order. This
-//! module encodes that recipe for the three [`PersistencyClass`]es the
-//! repo implements and derives, for any lowered litmus program, the full
-//! set of outcomes the class *allows* — independent of any simulator
+//! module encodes that recipe for the three persistency classes the repo
+//! implements and derives, for any lowered litmus program, the full set
+//! of outcomes the class *allows* — independent of any simulator
 //! machinery. The model checker ([`crate::modelcheck`]) diffs its
 //! operationally enumerated outcome set against this one.
 //!
-//! ## Axioms encoded
-//!
-//! Persist events are the PM stores of the lowered program. Within one
-//! thread, the persist-before order is:
-//!
-//! * **Strict** (DPO, PMEM-Spec): total program order — store `n+1` never
-//!   persists before store `n` (Px86's `persist-before ⊇ program-order`
-//!   restricted to durable events; DPO's delegated buffers and
-//!   PMEM-Spec's FIFO persist path both realize it).
-//! * **Epoch** (IntelX86, HOPS): stores separated by a flush barrier
-//!   (`SFENCE` on x86, `ofence`/`dfence` on HOPS) are ordered; stores
-//!   within one epoch are not. This is Px86's `clwb; sfence` derivation:
-//!   the fence orders every earlier write-back before every later store.
-//! * **Strand** (StrandWeaver): `persist-barrier` orders within a strand,
-//!   `new-strand` severs ordering, and `join-strand` is a global
-//!   durability point — every event before the join persists before every
-//!   event after it.
+//! The per-thread persist-before axioms themselves (strict / epoch /
+//! strand, with x86's flush gating) live in [`pmemspec_isa::persist`],
+//! shared with the static analyzer so static and dynamic verdicts use
+//! one definition of "allowed". This module adds what is specific to the
+//! *dynamic* oracle: persist events carry concrete immediate values, and
+//! allowed images are enumerated as order-consistent prefixes.
 //!
 //! ## Deviation from full Px86
 //!
@@ -46,7 +35,7 @@
 use std::collections::BTreeSet;
 
 use pmemspec_engine::explore::explore;
-use pmemspec_isa::{Addr, Op, PersistencyClass, Program, ValueSrc};
+use pmemspec_isa::{thread_persist_order, Addr, Op, Program, ValueSrc};
 
 /// One persist event: a PM store of the lowered program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,39 +60,12 @@ pub struct AxiomaticModel {
     pub preds: Vec<Vec<usize>>,
 }
 
-/// Per-thread bookkeeping while extracting the persist-before order.
-struct ThreadOrder {
-    /// Events of the last *closed* epoch that contained any (an event in
-    /// the current epoch must follow all of them).
-    last_epoch: Vec<usize>,
-    /// Events of the still-open epoch.
-    current: Vec<usize>,
-}
-
-impl ThreadOrder {
-    fn new() -> Self {
-        ThreadOrder {
-            last_epoch: Vec::new(),
-            current: Vec::new(),
-        }
-    }
-
-    /// Closes the current epoch (a fence). Empty epochs collapse: the
-    /// ordering frontier stays at the last epoch that had events.
-    fn close(&mut self) {
-        if !self.current.is_empty() {
-            self.last_epoch = std::mem::take(&mut self.current);
-        }
-    }
-
-    /// Records an event in the current epoch; returns its predecessors.
-    fn event(&mut self, idx: usize) -> Vec<usize> {
-        self.current.push(idx);
-        self.last_epoch.clone()
-    }
-}
-
 /// Builds the axiomatic model of a lowered litmus program.
+///
+/// The per-thread persist-before extraction lives in
+/// [`pmemspec_isa::persist`] and is shared verbatim with the static
+/// analyzer (`pmemspec-analyze`): both tools answer "may these two
+/// persists reorder?" from one definition.
 ///
 /// # Panics
 ///
@@ -111,55 +73,28 @@ impl ThreadOrder {
 /// shapes only use immediates, and an outcome set over computed values
 /// would not be well defined without also modeling volatile memory.
 pub fn axiomatic_model(program: &Program) -> AxiomaticModel {
-    let class = program.design().persistency_class();
+    let design = program.design();
     let mut events = Vec::new();
     let mut preds = Vec::new();
     for (tid, thread) in program.threads().enumerate() {
-        // The main strand (or sole epoch chain) of this thread.
-        let mut strand = ThreadOrder::new();
-        // Events before the most recent join-strand (StrandWeaver's
-        // durability point orders across strands).
-        let mut join_frontier: Vec<usize> = Vec::new();
-        let mut thread_events: Vec<usize> = Vec::new();
-        for op in thread.ops() {
-            match *op {
-                Op::Store { addr, value } if addr.is_pm() => {
-                    let ValueSrc::Imm(v) = value else {
-                        panic!("axiomatic oracle needs immediate PM stores, got {op}");
-                    };
-                    let idx = events.len();
-                    events.push(PersistEvent {
-                        thread: tid,
-                        addr,
-                        value: v,
-                    });
-                    let mut p = strand.event(idx);
-                    p.extend(join_frontier.iter().copied());
-                    preds.push(p);
-                    thread_events.push(idx);
-                    if class == PersistencyClass::Strict {
-                        // Strict: every store is its own epoch.
-                        strand.close();
-                    }
-                }
-                // Epoch boundaries. `dfence`/`join-strand` also *drain*,
-                // but for the allowed-outcome set draining only matters
-                // as ordering — which closing the epoch (plus, for
-                // join-strand, the global frontier below) captures.
-                Op::Sfence | Op::Ofence | Op::Dfence | Op::StrandBarrier => {
-                    strand.close();
-                }
-                // A new strand severs intra-thread ordering: the frontier
-                // resets (join-strand ordering is tracked separately).
-                Op::NewStrand => {
-                    strand = ThreadOrder::new();
-                }
-                Op::JoinStrand => {
-                    strand = ThreadOrder::new();
-                    join_frontier = thread_events.clone();
-                }
-                _ => {}
-            }
+        let ops = thread.ops();
+        let order = thread_persist_order(design, ops);
+        let base = events.len();
+        for (local, &op_idx) in order.store_ops.iter().enumerate() {
+            let op = &ops[op_idx];
+            let Op::Store {
+                addr,
+                value: ValueSrc::Imm(v),
+            } = *op
+            else {
+                panic!("axiomatic oracle needs immediate PM stores, got {op}");
+            };
+            events.push(PersistEvent {
+                thread: tid,
+                addr,
+                value: v,
+            });
+            preds.push(order.preds[local].iter().map(|&p| base + p).collect());
         }
     }
     AxiomaticModel { events, preds }
@@ -211,13 +146,7 @@ pub fn allowed_outcomes(model: &AxiomaticModel, observed: &[Addr]) -> BTreeSet<V
         |(_, image), _, _| {
             let tuple: Vec<u64> = observed
                 .iter()
-                .map(|a| {
-                    image
-                        .iter()
-                        .find(|(ia, _)| ia == a)
-                        .map(|&(_, v)| v)
-                        .unwrap_or(0)
-                })
+                .map(|a| image.iter().find(|(ia, _)| ia == a).map_or(0, |&(_, v)| v))
                 .collect();
             outcomes.insert(tuple);
         },
@@ -236,7 +165,7 @@ pub fn axiomatic_allowed(program: &Program, observed: &[Addr]) -> BTreeSet<Vec<u
 mod tests {
     use super::*;
     use crate::litmus::litmus_shape;
-    use pmemspec_isa::{lower_program, AbsProgram, AbsThread, DesignKind};
+    use pmemspec_isa::{lower_program, AbsProgram, AbsThread, DesignKind, PersistencyClass};
 
     fn set(outs: &[&[u64]]) -> BTreeSet<Vec<u64>> {
         outs.iter().map(|o| o.to_vec()).collect()

@@ -54,6 +54,8 @@
 //! sampled ⊆ enumerated containment test. See DESIGN.md's ledger entry
 //! for the full discussion.
 
+#![forbid(unsafe_code)]
+
 pub mod axiomatic;
 pub mod fuzzer;
 pub mod litmus;
@@ -66,6 +68,7 @@ pub use litmus::{
     litmus_shape, litmus_suite, run_litmus, LitmusMismatch, LitmusReport, LitmusTest, OutcomeSpec,
 };
 pub use modelcheck::{
-    check_litmus_exhaustive, enumerate_litmus, EnumeratedLitmus, ExhaustiveReport, ModelMismatch,
+    check_litmus_exhaustive, enumerate_litmus, enumerate_program, EnumeratedLitmus,
+    ExhaustiveReport, ModelMismatch,
 };
 pub use oracle::{check_crash_point, CrashPointCtx, Violation};

@@ -500,7 +500,28 @@ pub struct EnumeratedLitmus {
 /// Panics if the state space exceeds the internal cap (a suite bug —
 /// litmus shapes are tiny by construction).
 pub fn enumerate_litmus(test: &LitmusTest, design: DesignKind) -> EnumeratedLitmus {
-    let machine = Machine::new(test, design);
+    enumerate_machine(Machine::new(test, design), test.name, &test.observed)
+}
+
+/// Exhaustively enumerates every persist-order interleaving of an
+/// already-lowered (possibly hand-built or *mutated*) `program`,
+/// projecting outcomes onto `observed`.
+///
+/// Unlike [`enumerate_litmus`] this takes the concrete op stream
+/// directly, so it runs programs [`Program::validate`] would reject —
+/// the mutation self-test uses it to show that a broken lowering
+/// actually reaches images the intact program's axioms forbid.
+///
+/// # Panics
+///
+/// Panics if the state space exceeds the internal cap.
+pub fn enumerate_program(program: Program, observed: &[Addr]) -> EnumeratedLitmus {
+    let design = program.design();
+    enumerate_machine(Machine { program, design }, "program", observed)
+}
+
+fn enumerate_machine(machine: Machine, name: &'static str, observed: &[Addr]) -> EnumeratedLitmus {
+    let design = machine.design;
     let mut outcomes = BTreeSet::new();
     let mut terminal_outcomes = BTreeSet::new();
     let mut first_trace = BTreeMap::new();
@@ -509,8 +530,7 @@ pub fn enumerate_litmus(test: &LitmusTest, design: DesignKind) -> EnumeratedLitm
         machine.initial(),
         |s| machine.successors(s),
         |s, trace, terminal| {
-            let tuple: Vec<u64> = test
-                .observed
+            let tuple: Vec<u64> = observed
                 .iter()
                 .map(|a| s.pmem.get(a).copied().unwrap_or(0))
                 .collect();
@@ -529,10 +549,10 @@ pub fn enumerate_litmus(test: &LitmusTest, design: DesignKind) -> EnumeratedLitm
         STATE_LIMIT,
     )
     .unwrap_or_else(|e| {
-        panic!("{} on {}: {e}", test.name, design.label());
+        panic!("{name} on {}: {e}", design.label());
     });
     EnumeratedLitmus {
-        test: test.name,
+        test: name,
         design,
         stats,
         outcomes,

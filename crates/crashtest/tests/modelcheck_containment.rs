@@ -53,7 +53,7 @@ fn enumerated_exactly_matches_axiomatic_allowed() {
                 report
                     .forbidden
                     .iter()
-                    .map(|m| m.to_string())
+                    .map(std::string::ToString::to_string)
                     .collect::<Vec<_>>()
                     .join("\n")
             );

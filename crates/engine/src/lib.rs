@@ -34,6 +34,8 @@
 //! assert_eq!(t.raw(), 20 * CYCLES_PER_NS);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arena;
 pub mod clock;
 pub mod config;

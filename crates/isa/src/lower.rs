@@ -127,84 +127,187 @@ impl DesignKind {
     }
 }
 
+/// The abstract-level intent behind one lowered op: which kind of
+/// abstract op the lowering emitted it for. Produced alongside the op
+/// stream by [`lower_program_with_meta`] so static analyses can key
+/// persist obligations on what the program *meant* (log vs. data store,
+/// ordering point, durability barrier) instead of reverse-engineering
+/// intent from the instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpRole {
+    /// A PM store realizing an [`AbsOp::LogWrite`].
+    Log,
+    /// A PM store realizing an [`AbsOp::DataWrite`].
+    Data,
+    /// A `CLWB` covering the line of a preceding PM store.
+    Flush,
+    /// A fence realizing [`AbsOp::LogOrder`] or [`AbsOp::DataOrder`].
+    Order,
+    /// The durability barrier emitted at a FASE end.
+    Durability,
+    /// A DRAM store.
+    Volatile,
+    /// A load (PM or DRAM).
+    Read,
+    /// Busy compute.
+    Compute,
+    /// A recovery checkpoint marker.
+    Checkpoint,
+    /// Mutex acquire.
+    Lock,
+    /// Mutex release.
+    Unlock,
+    /// PMEM-Spec `spec-assign` (inserted after the lock).
+    SpecAssign,
+    /// PMEM-Spec `spec-revoke` (inserted before the unlock).
+    SpecRevoke,
+    /// StrandWeaver `new-strand` at a FASE begin.
+    NewStrand,
+    /// The FASE begin marker.
+    FaseBegin,
+    /// The FASE end marker.
+    FaseEnd,
+}
+
+/// Lowering metadata for one lowered op: its role plus the index of the
+/// abstract op it realizes. Several lowered ops may share one abstract
+/// index (`st; clwb`, `lock; spec-assign`, barrier + marker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMeta {
+    /// What the op realizes.
+    pub role: OpRole,
+    /// Index into the thread's abstract op list.
+    pub abs_index: u32,
+}
+
+/// Lowering metadata for one thread, aligned with its lowered op stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadMeta {
+    /// `ops[i]` describes the thread's `i`-th lowered op.
+    pub ops: Vec<OpMeta>,
+    /// Abstract indices of every [`AbsOp::LogOrder`]/[`AbsOp::DataOrder`],
+    /// in program order — recorded even when the design emits nothing for
+    /// them (PMEM-Spec's FIFO path): the *obligation* that earlier
+    /// persists order before later ones exists regardless of whether the
+    /// design needs an instruction to realize it.
+    pub order_points: Vec<u32>,
+}
+
+/// Lowering metadata for a whole program, aligned with [`Program`]'s
+/// threads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgramMeta {
+    /// One entry per thread, in [`Program`] thread order.
+    pub threads: Vec<ThreadMeta>,
+}
+
 /// Lowers one thread's abstract ops for `design`.
 ///
 /// On IntelX86/DPO, consecutive PM stores to one cache line share a single
 /// trailing `CLWB` (what a compiler or PM library emits); the pending CLWB
 /// is flushed before any op that leaves the line.
-fn lower_thread(design: DesignKind, abs_ops: &[AbsOp]) -> ThreadProgram {
+fn lower_thread(design: DesignKind, abs_ops: &[AbsOp]) -> (ThreadProgram, ThreadMeta) {
     let wants_clwb = matches!(design, DesignKind::IntelX86 | DesignKind::Dpo);
     let mut ops = Vec::with_capacity(abs_ops.len() * 2);
-    let mut pending_clwb: Option<crate::addr::Addr> = None;
-    let flush = |ops: &mut Vec<Op>, pending: &mut Option<crate::addr::Addr>| {
-        if let Some(addr) = pending.take() {
+    let mut meta = ThreadMeta {
+        ops: Vec::with_capacity(abs_ops.len() * 2),
+        order_points: Vec::new(),
+    };
+    // The pending CLWB's address, plus the abstract index of the last
+    // store it covers (its provenance in the metadata).
+    let mut pending_clwb: Option<(crate::addr::Addr, u32)> = None;
+    let flush = |ops: &mut Vec<Op>,
+                 metas: &mut Vec<OpMeta>,
+                 pending: &mut Option<(crate::addr::Addr, u32)>| {
+        if let Some((addr, abs_index)) = pending.take() {
             ops.push(Op::Clwb { addr });
+            metas.push(OpMeta {
+                role: OpRole::Flush,
+                abs_index,
+            });
         }
     };
-    for &a in abs_ops {
+    for (ai, &a) in abs_ops.iter().enumerate() {
+        let ai = ai as u32;
         // Any op other than a PM store to the same line closes the
         // pending CLWB first.
         match a {
             AbsOp::LogWrite { addr, .. } | AbsOp::DataWrite { addr, .. }
-                if pending_clwb.is_some_and(|p| p.line() == addr.line()) => {}
-            _ => flush(&mut ops, &mut pending_clwb),
+                if pending_clwb.is_some_and(|(p, _)| p.line() == addr.line()) => {}
+            _ => flush(&mut ops, &mut meta.ops, &mut pending_clwb),
         }
+        let mut emit = |op: Op, role: OpRole| {
+            ops.push(op);
+            meta.ops.push(OpMeta {
+                role,
+                abs_index: ai,
+            });
+        };
         match a {
             AbsOp::LogWrite { addr, value } | AbsOp::DataWrite { addr, value } => {
-                ops.push(Op::Store { addr, value });
+                let role = if matches!(a, AbsOp::LogWrite { .. }) {
+                    OpRole::Log
+                } else {
+                    OpRole::Data
+                };
+                emit(Op::Store { addr, value }, role);
                 if wants_clwb {
-                    pending_clwb = Some(addr);
+                    pending_clwb = Some((addr, ai));
                 }
             }
-            AbsOp::LogOrder | AbsOp::DataOrder => match design {
-                DesignKind::IntelX86 | DesignKind::Dpo => ops.push(Op::Sfence),
-                DesignKind::Hops => ops.push(Op::Ofence),
-                DesignKind::StrandWeaver => ops.push(Op::StrandBarrier),
-                // The FIFO persist path preserves intra-thread order;
-                // nothing to emit (§4.2).
-                DesignKind::PmemSpec => {}
-            },
+            AbsOp::LogOrder | AbsOp::DataOrder => {
+                meta.order_points.push(ai);
+                match design {
+                    DesignKind::IntelX86 | DesignKind::Dpo => emit(Op::Sfence, OpRole::Order),
+                    DesignKind::Hops => emit(Op::Ofence, OpRole::Order),
+                    DesignKind::StrandWeaver => emit(Op::StrandBarrier, OpRole::Order),
+                    // The FIFO persist path preserves intra-thread order;
+                    // nothing to emit (§4.2).
+                    DesignKind::PmemSpec => {}
+                }
+            }
             AbsOp::PmRead { addr } | AbsOp::VolatileRead { addr } => {
-                ops.push(Op::Load { addr });
+                emit(Op::Load { addr }, OpRole::Read);
             }
             AbsOp::VolatileWrite { addr, value } => {
-                ops.push(Op::Store { addr, value });
+                emit(Op::Store { addr, value }, OpRole::Volatile);
             }
-            AbsOp::Compute { cycles } => ops.push(Op::Compute { cycles }),
-            AbsOp::Checkpoint => ops.push(Op::Checkpoint),
+            AbsOp::Compute { cycles } => emit(Op::Compute { cycles }, OpRole::Compute),
+            AbsOp::Checkpoint => emit(Op::Checkpoint, OpRole::Checkpoint),
             AbsOp::LockAcquire { lock } => {
-                ops.push(Op::Lock { lock });
+                emit(Op::Lock { lock }, OpRole::Lock);
                 if design == DesignKind::PmemSpec {
-                    ops.push(Op::SpecAssign);
+                    emit(Op::SpecAssign, OpRole::SpecAssign);
                 }
             }
             AbsOp::LockRelease { lock } => {
                 if design == DesignKind::PmemSpec {
-                    ops.push(Op::SpecRevoke);
+                    emit(Op::SpecRevoke, OpRole::SpecRevoke);
                 }
-                ops.push(Op::Unlock { lock });
+                emit(Op::Unlock { lock }, OpRole::Unlock);
             }
             AbsOp::FaseBegin { fase } => {
-                ops.push(Op::FaseBegin { fase });
+                emit(Op::FaseBegin { fase }, OpRole::FaseBegin);
                 if design == DesignKind::StrandWeaver {
                     // Each FASE is its own strand: its persists carry no
                     // dependency on the previous FASE's tail.
-                    ops.push(Op::NewStrand);
+                    emit(Op::NewStrand, OpRole::NewStrand);
                 }
             }
             AbsOp::FaseEnd { fase } => {
                 match design {
-                    DesignKind::IntelX86 | DesignKind::Dpo => ops.push(Op::Sfence),
-                    DesignKind::Hops => ops.push(Op::Dfence),
-                    DesignKind::PmemSpec => ops.push(Op::SpecBarrier),
-                    DesignKind::StrandWeaver => ops.push(Op::JoinStrand),
+                    DesignKind::IntelX86 | DesignKind::Dpo => emit(Op::Sfence, OpRole::Durability),
+                    DesignKind::Hops => emit(Op::Dfence, OpRole::Durability),
+                    DesignKind::PmemSpec => emit(Op::SpecBarrier, OpRole::Durability),
+                    DesignKind::StrandWeaver => emit(Op::JoinStrand, OpRole::Durability),
                 }
-                ops.push(Op::FaseEnd { fase });
+                emit(Op::FaseEnd { fase }, OpRole::FaseEnd);
             }
         }
     }
-    flush(&mut ops, &mut pending_clwb);
-    ThreadProgram::new(ops)
+    flush(&mut ops, &mut meta.ops, &mut pending_clwb);
+    debug_assert_eq!(ops.len(), meta.ops.len(), "metadata aligns with ops");
+    (ThreadProgram::new(ops), meta)
 }
 
 /// Lowers an abstract program for `design`.
@@ -230,9 +333,26 @@ fn lower_thread(design: DesignKind, abs_ops: &[AbsOp]) -> ThreadProgram {
 /// assert!(x86.len() > spec.len());
 /// ```
 pub fn lower_program(design: DesignKind, program: &AbsProgram) -> Program {
+    lower_program_with_meta(design, program).0
+}
+
+/// Lowers an abstract program for `design`, also returning per-op
+/// lowering metadata (see [`OpMeta`]).
+///
+/// The [`Program`] is identical to [`lower_program`]'s output; the
+/// [`ProgramMeta`] carries, aligned with each thread's op stream, the
+/// role each lowered op plays and the abstract op it realizes, plus the
+/// thread's ordering points. The static analyzer keys its persist
+/// obligations on this.
+pub fn lower_program_with_meta(design: DesignKind, program: &AbsProgram) -> (Program, ProgramMeta) {
+    let mut meta = ProgramMeta::default();
     let threads = program
         .threads()
-        .map(|ops| lower_thread(design, ops))
+        .map(|ops| {
+            let (thread, tm) = lower_thread(design, ops);
+            meta.threads.push(tm);
+            thread
+        })
         .collect();
     let lowered = Program::new(design, threads);
     debug_assert!(
@@ -240,7 +360,7 @@ pub fn lower_program(design: DesignKind, program: &AbsProgram) -> Program {
         "lowering produced an invalid program: {:?}",
         lowered.validate()
     );
-    lowered
+    (lowered, meta)
 }
 
 #[cfg(test)]
@@ -352,6 +472,58 @@ mod tests {
         assert_eq!(DesignKind::PmemSpec.label(), "PMEM-Spec");
         assert_eq!(DesignKind::Hops.to_string(), "HOPS");
         assert_eq!(DesignKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn meta_aligns_with_ops_and_keeps_order_points() {
+        for d in DesignKind::ALL_EXTENDED {
+            let (p, meta) = lower_program_with_meta(d, &sample_program());
+            assert_eq!(meta.threads.len(), p.thread_count(), "{d}");
+            let tm = &meta.threads[0];
+            let ops = p.thread(0).ops();
+            assert_eq!(tm.ops.len(), ops.len(), "{d}: meta aligned with ops");
+            // The log-order obligation is recorded even when nothing is
+            // emitted for it (PMEM-Spec).
+            assert_eq!(tm.order_points, vec![3], "{d}: one LogOrder at abs 3");
+            for (op, m) in ops.iter().zip(&tm.ops) {
+                let ok = match m.role {
+                    OpRole::Log | OpRole::Data | OpRole::Volatile => {
+                        matches!(op, Op::Store { .. })
+                    }
+                    OpRole::Flush => matches!(op, Op::Clwb { .. }),
+                    OpRole::Order => {
+                        matches!(op, Op::Sfence | Op::Ofence | Op::StrandBarrier)
+                    }
+                    OpRole::Durability => matches!(
+                        op,
+                        Op::Sfence | Op::Dfence | Op::SpecBarrier | Op::JoinStrand
+                    ),
+                    OpRole::Read => matches!(op, Op::Load { .. }),
+                    OpRole::Compute => matches!(op, Op::Compute { .. }),
+                    OpRole::Checkpoint => matches!(op, Op::Checkpoint),
+                    OpRole::Lock => matches!(op, Op::Lock { .. }),
+                    OpRole::Unlock => matches!(op, Op::Unlock { .. }),
+                    OpRole::SpecAssign => matches!(op, Op::SpecAssign),
+                    OpRole::SpecRevoke => matches!(op, Op::SpecRevoke),
+                    OpRole::NewStrand => matches!(op, Op::NewStrand),
+                    OpRole::FaseBegin => matches!(op, Op::FaseBegin { .. }),
+                    OpRole::FaseEnd => matches!(op, Op::FaseEnd { .. }),
+                };
+                assert!(ok, "{d}: role {:?} mismatches op {op:?}", m.role);
+            }
+            // Abstract indices are monotone (several ops may share one).
+            let idx: Vec<u32> = tm.ops.iter().map(|m| m.abs_index).collect();
+            assert!(idx.windows(2).all(|w| w[0] <= w[1]), "{d}: {idx:?}");
+        }
+    }
+
+    #[test]
+    fn with_meta_program_matches_plain_lowering() {
+        for d in DesignKind::ALL_EXTENDED {
+            let plain = lower_program(d, &sample_program());
+            let (with_meta, _) = lower_program_with_meta(d, &sample_program());
+            assert_eq!(plain, with_meta, "{d}");
+        }
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! Per-class persist-before order extraction — the single definition of
+//! "allowed" shared by the dynamic oracles and the static analyzer.
+//!
+//! Given one thread's *lowered* instruction stream, this module derives
+//! the persist-before partial order its design's [`PersistencyClass`]
+//! imposes on the thread's PM stores, in two equivalent representations:
+//!
+//! * **Immediate predecessors** ([`ThreadPersistOrder::preds`]) — the
+//!   edge lists the axiomatic oracle (`crashtest::axiomatic`) feeds into
+//!   prefix enumeration. The full order is their transitive closure.
+//! * **Closed-form keys** ([`OrderKey`]) — a per-event coordinate such
+//!   that `a` persists before `b` iff [`OrderKey::before`] holds, giving
+//!   the static analyzer (`pmemspec-analyze`) O(1) order queries without
+//!   materializing the closure. A property test pins that the two
+//!   representations describe the same relation.
+//!
+//! ## Axioms encoded
+//!
+//! * **Strict** (DPO, PMEM-Spec): total program order — every store is
+//!   its own epoch. DPO's `CLWB`s are hardware no-ops (the persist
+//!   buffers sit in the coherence domain) and are ignored.
+//! * **Epoch** (IntelX86, HOPS): stores separated by a fence (`SFENCE`,
+//!   `ofence`/`dfence`) are ordered; stores within one epoch are not.
+//!   On IntelX86 the order is additionally *flush-gated*: a store enters
+//!   the write-back order only at its covering `CLWB` (stores persist
+//!   only via their flush in the operational model), so a store whose
+//!   flush lands after a fence is ordered as of the flush, and a store
+//!   that is never flushed orders before nothing. Well-formed lowerings
+//!   flush every PM store before the next fence, making the gated and
+//!   ungated orders coincide — the gap only opens on broken (mutated)
+//!   programs, which is exactly what the analyzer must catch.
+//! * **Strand** (StrandWeaver): `persist-barrier` orders within a
+//!   strand, `new-strand` severs ordering, `join-strand` orders every
+//!   earlier event of the thread before every later one.
+//!
+//! No cross-thread edges are generated — see the documented deviation in
+//! `crashtest::axiomatic`.
+
+use crate::addr::LineAddr;
+use crate::lower::{DesignKind, PersistencyClass};
+use crate::op::Op;
+
+/// Closed-form position of one persist event in its thread's
+/// persist-before order. All coordinates are thread-local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderKey {
+    /// Number of `join-strand`s executed before this event. A join
+    /// orders everything before it ahead of everything after it, so a
+    /// smaller generation always persists before a larger one.
+    pub join_gen: u32,
+    /// Strand id within the current join generation (`new-strand` and
+    /// `join-strand` both start a fresh strand). Events of different
+    /// strands in the same generation are unordered.
+    pub strand: u32,
+    /// Epoch index (within the strand) at which the event *entered* the
+    /// stream — i.e. at its store. Incoming edges are keyed on this.
+    pub in_epoch: u32,
+    /// Epoch index at which the event became *orderable before later
+    /// events*: the store itself, except on flush-gated designs
+    /// (IntelX86) where it is the epoch of the covering `CLWB` — or
+    /// [`OrderKey::NEVER`] if the store is never flushed.
+    pub out_epoch: u32,
+}
+
+impl OrderKey {
+    /// `out_epoch` of a store that never gets a covering flush: it
+    /// persists (if at all) unordered, before nothing.
+    pub const NEVER: u32 = u32::MAX;
+
+    /// True when event `a` must persist before event `b` (same thread).
+    pub fn before(a: OrderKey, b: OrderKey) -> bool {
+        a.join_gen < b.join_gen
+            || (a.join_gen == b.join_gen && a.strand == b.strand && a.out_epoch < b.in_epoch)
+    }
+}
+
+/// One thread's persist events with their persist-before order.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPersistOrder {
+    /// Op index (into the thread's lowered stream) of each event's
+    /// store, in program order. Events are exactly the PM stores.
+    pub store_ops: Vec<usize>,
+    /// `preds[i]` = event indices that must persist before event `i`
+    /// (immediate predecessors; the full order is the closure).
+    pub preds: Vec<Vec<usize>>,
+    /// Closed-form order coordinates, aligned with `store_ops`.
+    pub keys: Vec<OrderKey>,
+}
+
+impl ThreadPersistOrder {
+    /// Number of persist events.
+    pub fn len(&self) -> usize {
+        self.store_ops.len()
+    }
+
+    /// True when the thread has no PM stores.
+    pub fn is_empty(&self) -> bool {
+        self.store_ops.is_empty()
+    }
+}
+
+/// Epoch-frontier bookkeeping (the axiomatic oracle's epoch rule).
+struct EpochChain {
+    /// Events of the last *closed* epoch that contained any — an event
+    /// entering the current epoch must follow all of them.
+    last_epoch: Vec<usize>,
+    /// Events of the still-open epoch.
+    current: Vec<usize>,
+}
+
+impl EpochChain {
+    fn new() -> Self {
+        EpochChain {
+            last_epoch: Vec::new(),
+            current: Vec::new(),
+        }
+    }
+
+    /// Closes the current epoch (a fence). Empty epochs collapse: the
+    /// ordering frontier stays at the last epoch that had events.
+    fn close(&mut self) {
+        if !self.current.is_empty() {
+            self.last_epoch = std::mem::take(&mut self.current);
+        }
+    }
+}
+
+/// Extracts the persist-before order of one thread's lowered ops under
+/// `design`'s persistency class.
+pub fn thread_persist_order(design: DesignKind, ops: &[Op]) -> ThreadPersistOrder {
+    build_order(design, ops, true)
+}
+
+/// [`thread_persist_order`] without materializing `preds` (left empty).
+///
+/// The edge lists are quadratic-size on strand designs — every
+/// `join-strand` frontier is the thread's whole event history, and
+/// every later store clones it — which is fine on litmus-sized
+/// programs (the axiomatic oracle's input) but not on full workloads.
+/// Consumers that only need O(1) order queries ([`OrderKey::before`])
+/// use this entry point; `pmemspec-analyze` is the one in the tree.
+pub fn thread_persist_keys(design: DesignKind, ops: &[Op]) -> ThreadPersistOrder {
+    build_order(design, ops, false)
+}
+
+fn build_order(design: DesignKind, ops: &[Op], want_preds: bool) -> ThreadPersistOrder {
+    let class = design.persistency_class();
+    // Stores persist only via their covering CLWB on stock x86; every
+    // other design persists the store itself (DPO's CLWBs are no-ops).
+    let flush_gated = design == DesignKind::IntelX86;
+
+    let mut order = ThreadPersistOrder::default();
+    let mut chain = EpochChain::new();
+    // Events before the most recent join-strand (the durability point
+    // orders across strands).
+    let mut join_frontier: Vec<usize> = Vec::new();
+    let mut all_events: Vec<usize> = Vec::new();
+    // Flush-gated stores waiting for their covering CLWB.
+    let mut unflushed: Vec<(LineAddr, usize)> = Vec::new();
+
+    let mut join_gen = 0u32;
+    let mut strand = 0u32;
+    let mut epoch = 0u32;
+
+    for (op_idx, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Store { addr, .. } if addr.is_pm() => {
+                let idx = order.store_ops.len();
+                if want_preds {
+                    let mut p = chain.last_epoch.clone();
+                    p.extend(join_frontier.iter().copied());
+                    order.preds.push(p);
+                    all_events.push(idx);
+                }
+                order.store_ops.push(op_idx);
+                order.keys.push(OrderKey {
+                    join_gen,
+                    strand,
+                    in_epoch: epoch,
+                    out_epoch: if flush_gated { OrderKey::NEVER } else { epoch },
+                });
+                if flush_gated {
+                    unflushed.push((addr.line(), idx));
+                } else {
+                    chain.current.push(idx);
+                }
+                if class == PersistencyClass::Strict {
+                    // Strict: every store is its own epoch.
+                    chain.close();
+                    epoch += 1;
+                }
+            }
+            Op::Clwb { addr } if flush_gated => {
+                // The covering flush admits the line's pending stores
+                // into the current epoch.
+                let line = addr.line();
+                unflushed.retain(|&(l, idx)| {
+                    if l == line {
+                        chain.current.push(idx);
+                        order.keys[idx].out_epoch = epoch;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            // Epoch boundaries. `dfence`/`join-strand` also *drain*, but
+            // for the allowed-outcome set draining only matters as
+            // ordering — which closing the epoch (plus, for join-strand,
+            // the global frontier below) captures.
+            Op::Sfence | Op::Ofence | Op::Dfence | Op::StrandBarrier => {
+                chain.close();
+                epoch += 1;
+            }
+            // A new strand severs intra-thread ordering: the frontier
+            // resets (join-strand ordering is tracked separately).
+            Op::NewStrand => {
+                chain = EpochChain::new();
+                strand += 1;
+                epoch = 0;
+            }
+            Op::JoinStrand => {
+                chain = EpochChain::new();
+                if want_preds {
+                    join_frontier = all_events.clone();
+                }
+                join_gen += 1;
+                strand += 1;
+                epoch = 0;
+            }
+            _ => {}
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abs::{AbsProgram, AbsThread};
+    use crate::addr::Addr;
+    use crate::lower::lower_program;
+    use crate::op::{FaseId, ValueSrc};
+
+    /// Reachability in the `preds` DAG (the reference relation).
+    fn reachable(order: &ThreadPersistOrder, from: usize, to: usize) -> bool {
+        let mut stack = vec![to];
+        let mut seen = vec![false; order.len()];
+        while let Some(n) = stack.pop() {
+            if n == from {
+                return true;
+            }
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            stack.extend(order.preds[n].iter().copied());
+        }
+        false
+    }
+
+    /// The two representations must describe the same relation.
+    fn assert_keys_match_preds(design: DesignKind, ops: &[Op]) {
+        let order = thread_persist_order(design, ops);
+        for a in 0..order.len() {
+            for b in 0..order.len() {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    OrderKey::before(order.keys[a], order.keys[b]),
+                    reachable(&order, a, b),
+                    "{design}: events {a}->{b} disagree\nops: {ops:?}\nkeys: {:?}",
+                    order.keys
+                );
+            }
+        }
+    }
+
+    /// A representative undo-shaped FASE plus a second FASE.
+    fn undo_program() -> AbsProgram {
+        let (l0, l1, d, s) = (Addr::pm(0), Addr::pm(8), Addr::pm(4096), Addr::pm(128));
+        let mut t = AbsThread::new();
+        t.begin_fase();
+        t.log_write(l0, 1u64).log_write(l1, 2u64).log_order();
+        t.data_write(d, 7u64).data_order();
+        t.log_write(s, 1u64);
+        t.end_fase();
+        t.begin_fase();
+        t.data_write(Addr::pm(4096 + 64), 9u64);
+        t.end_fase();
+        let mut p = AbsProgram::new();
+        p.add_thread(t);
+        p
+    }
+
+    #[test]
+    fn keys_and_preds_agree_on_lowered_programs() {
+        let p = undo_program();
+        for design in DesignKind::ALL_EXTENDED {
+            let lowered = lower_program(design, &p);
+            assert_keys_match_preds(design, lowered.thread(0).ops());
+        }
+    }
+
+    #[test]
+    fn keys_and_preds_agree_on_mutated_programs() {
+        // Drop each op in turn from each lowered stream: the relation
+        // must stay self-consistent even on broken programs (that is
+        // what the analyzer runs on).
+        let p = undo_program();
+        for design in DesignKind::ALL_EXTENDED {
+            let lowered = lower_program(design, &p);
+            let ops = lowered.thread(0).ops();
+            for drop in 0..ops.len() {
+                let mutated: Vec<Op> = ops
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != drop)
+                    .map(|(_, &o)| o)
+                    .collect();
+                assert_keys_match_preds(design, &mutated);
+            }
+        }
+    }
+
+    #[test]
+    fn strict_is_a_total_chain() {
+        let p = undo_program();
+        for design in [DesignKind::Dpo, DesignKind::PmemSpec] {
+            let lowered = lower_program(design, &p);
+            let order = thread_persist_order(design, lowered.thread(0).ops());
+            for b in 1..order.len() {
+                assert!(
+                    OrderKey::before(order.keys[b - 1], order.keys[b]),
+                    "{design}: store order is persist order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_orders_across_fences_only() {
+        let p = undo_program();
+        let lowered = lower_program(DesignKind::Hops, &p);
+        let order = thread_persist_order(DesignKind::Hops, lowered.thread(0).ops());
+        // l0 and l1 share the log epoch; both precede the data write.
+        assert!(!OrderKey::before(order.keys[0], order.keys[1]));
+        assert!(OrderKey::before(order.keys[0], order.keys[2]));
+        assert!(OrderKey::before(order.keys[1], order.keys[2]));
+    }
+
+    #[test]
+    fn x86_unflushed_store_orders_before_nothing() {
+        // st A; clwb A; st B; sfence; st C — B never flushed.
+        let (a, b, c) = (Addr::pm(0), Addr::pm(64), Addr::pm(128));
+        let st = |addr| Op::Store {
+            addr,
+            value: ValueSrc::imm(1),
+        };
+        let ops = [st(a), Op::Clwb { addr: a }, st(b), Op::Sfence, st(c)];
+        let order = thread_persist_order(DesignKind::IntelX86, &ops);
+        assert_eq!(order.keys[1].out_epoch, OrderKey::NEVER);
+        assert!(OrderKey::before(order.keys[0], order.keys[2]), "A -> C");
+        assert!(
+            !OrderKey::before(order.keys[1], order.keys[2]),
+            "unflushed B is not ordered before C"
+        );
+        assert_keys_match_preds(DesignKind::IntelX86, &ops);
+    }
+
+    #[test]
+    fn x86_late_flush_orders_as_of_the_flush() {
+        // st A; sfence; clwb A; sfence; st B — A is ordered before B,
+        // but only because a fence follows its (late) flush.
+        let (a, b) = (Addr::pm(0), Addr::pm(64));
+        let st = |addr| Op::Store {
+            addr,
+            value: ValueSrc::imm(1),
+        };
+        let late = [st(a), Op::Sfence, Op::Clwb { addr: a }, Op::Sfence, st(b)];
+        let order = thread_persist_order(DesignKind::IntelX86, &late);
+        assert!(OrderKey::before(order.keys[0], order.keys[1]));
+        // Without the second fence the flush is too late to order A.
+        let too_late = [st(a), Op::Sfence, Op::Clwb { addr: a }, st(b)];
+        let order = thread_persist_order(DesignKind::IntelX86, &too_late);
+        assert!(!OrderKey::before(order.keys[0], order.keys[1]));
+        assert_keys_match_preds(DesignKind::IntelX86, &late);
+        assert_keys_match_preds(DesignKind::IntelX86, &too_late);
+    }
+
+    #[test]
+    fn strand_join_orders_across_strands() {
+        let st = |off| Op::Store {
+            addr: Addr::pm(off),
+            value: ValueSrc::imm(1),
+        };
+        let ops = [
+            Op::FaseBegin { fase: FaseId(0) },
+            Op::NewStrand,
+            st(0),
+            Op::StrandBarrier,
+            Op::NewStrand,
+            st(64),
+            Op::JoinStrand,
+            st(128),
+            Op::JoinStrand,
+            Op::FaseEnd { fase: FaseId(0) },
+        ];
+        let order = thread_persist_order(DesignKind::StrandWeaver, &ops);
+        assert!(
+            !OrderKey::before(order.keys[0], order.keys[1]),
+            "new-strand severs"
+        );
+        assert!(
+            OrderKey::before(order.keys[0], order.keys[2]),
+            "join orders"
+        );
+        assert!(OrderKey::before(order.keys[1], order.keys[2]));
+        assert_keys_match_preds(DesignKind::StrandWeaver, &ops);
+    }
+
+    #[test]
+    fn keys_only_entry_point_matches() {
+        let p = undo_program();
+        for design in DesignKind::ALL_EXTENDED {
+            let lowered = lower_program(design, &p);
+            let ops = lowered.thread(0).ops();
+            let full = thread_persist_order(design, ops);
+            let keys = thread_persist_keys(design, ops);
+            assert_eq!(keys.store_ops, full.store_ops);
+            assert_eq!(keys.keys, full.keys);
+            assert!(keys.preds.is_empty(), "keys-only skips the edge lists");
+        }
+    }
+
+    #[test]
+    fn store_ops_point_at_pm_stores() {
+        let p = undo_program();
+        let lowered = lower_program(DesignKind::IntelX86, &p);
+        let ops = lowered.thread(0).ops();
+        let order = thread_persist_order(DesignKind::IntelX86, ops);
+        assert_eq!(order.len(), 5);
+        for &oi in &order.store_ops {
+            assert!(matches!(ops[oi], Op::Store { addr, .. } if addr.is_pm()));
+        }
+        assert!(!order.is_empty());
+    }
+}

@@ -52,7 +52,7 @@ fn render_program(design: DesignKind, program: &AbsProgram) -> Vec<String> {
         .thread(0)
         .ops()
         .iter()
-        .map(|op| op.to_string())
+        .map(std::string::ToString::to_string)
         .collect()
 }
 

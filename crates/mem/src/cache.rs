@@ -50,6 +50,14 @@ pub struct SetAssocCache {
     lens: Vec<u8>,
     ways: usize,
     tick: u64,
+    /// 1-entry memo of the last [`SetAssocCache::touch`] hit: the line
+    /// and its arena slot. Core access streams hit the same line in
+    /// bursts (read-modify-write, word-by-word copies), and the memo
+    /// turns those repeats into one array access instead of a set scan.
+    /// Must be cleared by anything that moves or removes ways
+    /// (`insert`'s swap-remove eviction, `invalidate`, `clear`);
+    /// `clean` only edits a dirty bit in place, so it keeps the memo.
+    mru: Option<(LineAddr, usize)>,
 }
 
 impl SetAssocCache {
@@ -69,6 +77,7 @@ impl SetAssocCache {
             lens: vec![0; sets],
             ways,
             tick: 0,
+            mru: None,
         }
     }
 
@@ -121,16 +130,38 @@ impl SetAssocCache {
     ///
     /// Returns false when the line is not resident (no state change).
     pub fn touch(&mut self, line: LineAddr, write: bool) -> bool {
-        let s = self.set_index(line);
         let tick = self.bump();
-        if let Some(w) = self.set_mut(s).iter_mut().find(|w| w.line == line) {
-            w.lru = tick;
-            if write {
-                w.dirty = true;
+        if let Some((l, idx)) = self.mru {
+            if l == line {
+                let w = &mut self.arena[idx];
+                debug_assert_eq!(w.line, line, "stale MRU memo");
+                w.lru = tick;
+                if write {
+                    w.dirty = true;
+                }
+                return true;
             }
-            true
-        } else {
-            false
+        }
+        let s = self.set_index(line);
+        let base = match self.sets[s] {
+            0 => return false,
+            b => (b - 1) as usize,
+        };
+        let len = self.lens[s] as usize;
+        match self.arena[base..base + len]
+            .iter()
+            .position(|w| w.line == line)
+        {
+            Some(p) => {
+                let w = &mut self.arena[base + p];
+                w.lru = tick;
+                if write {
+                    w.dirty = true;
+                }
+                self.mru = Some((line, base + p));
+                true
+            }
+            None => false,
         }
     }
 
@@ -144,6 +175,7 @@ impl SetAssocCache {
     /// hottest simulator path and every caller checks first.)
     pub fn insert(&mut self, line: LineAddr, dirty: bool) -> Inserted {
         debug_assert!(!self.contains(line), "inserting resident line {line}");
+        self.mru = None;
         let s = self.set_index(line);
         let tick = self.bump();
         let full_ways = self.ways;
@@ -190,6 +222,7 @@ impl SetAssocCache {
     /// Removes a line (coherence invalidation), returning whether it was
     /// resident and dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        self.mru = None;
         let s = self.set_index(line);
         let len = self.lens[s] as usize;
         let ways = self.set_mut(s);
@@ -238,6 +271,7 @@ impl SetAssocCache {
     /// the tag storage is reused when execution resumes.
     pub fn clear(&mut self) {
         self.lens.fill(0);
+        self.mru = None;
     }
 }
 
@@ -329,6 +363,57 @@ mod tests {
         let mut all: Vec<_> = c.lines().collect();
         all.sort_by_key(|(l, _)| l.raw());
         assert_eq!(all, vec![(line(0), true), (line(1), false)]);
+    }
+
+    /// The MRU memo must not survive an eviction that swap-moves the
+    /// memoized way: after `insert(line 2)` evicts line 0, line 1 has
+    /// moved into slot 0, and a stale memo would touch the wrong way.
+    #[test]
+    fn touch_memo_survives_same_set_eviction() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.insert(line(0), false);
+        c.insert(line(1), false);
+        assert!(c.touch(line(1), false)); // memoize line 1 (slot 1)
+        c.touch(line(0), false); // swap memo to line 0
+        assert!(c.touch(line(1), true)); // line 1 MRU again, memoized
+        let out = c.insert(line(2), false); // evicts line 0, moves line 1
+        assert_eq!(out.victim, Some((line(0), false)));
+        assert!(c.touch(line(1), false), "moved line still hits");
+        assert!(c.is_dirty(line(1)), "dirty bit followed the line");
+        assert!(!c.touch(line(0), false), "evicted line misses");
+    }
+
+    #[test]
+    fn touch_memo_cleared_by_invalidate_and_clear() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.insert(line(0), false);
+        assert!(c.touch(line(0), false)); // memoized
+        assert_eq!(c.invalidate(line(0)), Some(false));
+        assert!(!c.touch(line(0), true), "invalidated line misses");
+        c.insert(line(1), false);
+        assert!(c.touch(line(1), false)); // memoized
+        c.clear();
+        assert!(!c.touch(line(1), false), "cleared cache misses");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn touch_memo_repeated_hits_keep_lru_fresh() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.insert(line(0), false);
+        c.insert(line(1), false);
+        // Repeated memo-path touches of line 0 must keep bumping its
+        // LRU stamp, so line 1 is the eviction victim.
+        for _ in 0..4 {
+            assert!(c.touch(line(0), false));
+        }
+        let out = c.insert(line(2), false);
+        assert_eq!(out.victim, Some((line(1), false)));
+        // clean() keeps the memo valid: dirty via memo, clean, re-dirty.
+        assert!(c.touch(line(0), true));
+        assert!(c.clean(line(0)));
+        assert!(c.touch(line(0), true));
+        assert!(c.is_dirty(line(0)));
     }
 
     #[test]

@@ -256,7 +256,7 @@ impl CacheHierarchy {
                 }
             }
         }
-        let keep_mask = keep.map(|c| 1u64 << c).unwrap_or(0) & e.sharers;
+        let keep_mask = keep.map_or(0, |c| 1u64 << c) & e.sharers;
         if keep_mask == 0 {
             self.dir.remove(line);
         } else {

@@ -20,6 +20,8 @@
 //! op order (the `pmem-spec` crate's system loop always advances the
 //! earliest-time core), which keeps the approximation faithful.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod dram;
 pub mod hierarchy;

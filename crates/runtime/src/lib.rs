@@ -17,6 +17,8 @@
 //! failure. Log entries carry checksummed headers so recovery rejects
 //! torn entries.
 
+#![forbid(unsafe_code)]
+
 pub mod layout;
 pub mod redo;
 pub mod undo;

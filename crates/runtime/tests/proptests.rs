@@ -37,7 +37,7 @@ fn epoch_writes(ops: &[AbsOp]) -> Vec<(usize, Addr, ValueSrc)> {
         match *op {
             AbsOp::LogOrder | AbsOp::DataOrder => epoch += 1,
             AbsOp::LogWrite { addr, value } | AbsOp::DataWrite { addr, value } => {
-                out.push((epoch, addr, value))
+                out.push((epoch, addr, value));
             }
             _ => {}
         }

@@ -20,6 +20,8 @@
 //! [`synthetic`] holds the §8.4 misspeculation-inducing program and the
 //! store-miss streamer used by the fetch-based-detection ablation.
 
+#![forbid(unsafe_code)]
+
 pub mod array_swaps;
 pub mod characterize;
 pub mod hashmap;

@@ -251,7 +251,7 @@ mod tests {
                     AbsOp::LockAcquire { .. } => held = true,
                     AbsOp::LockRelease { .. } => held = false,
                     AbsOp::DataWrite { .. } | AbsOp::LogWrite { .. } => {
-                        assert!(held, "queue writes happen inside a critical section")
+                        assert!(held, "queue writes happen inside a critical section");
                     }
                     _ => {}
                 }

@@ -34,7 +34,7 @@ fn main() {
                 run_program(SimConfig::asplos21(threads), lower_program(*d, &g.program)).unwrap();
             let rel = r.throughput() / base;
             geo[i + 1] += rel.ln();
-            row += &format!(" {:>7.3}", rel);
+            row += &format!(" {rel:>7.3}");
             if *d == DesignKind::PmemSpec && !r.misspeculation_free() {
                 row += " MISSPEC!";
             }

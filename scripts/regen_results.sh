@@ -38,6 +38,9 @@ start=$(now_ms)
 ./target/release/explain --out results --collapsed "$@" > /dev/null
 took "explain (cycle-accounting breakdown)" "$start"
 start=$(now_ms)
+./target/release/lint --out results "$@" > /dev/null
+took "lint (static persistency verifier)" "$start"
+start=$(now_ms)
 ./target/release/fig10 --json "$@" > results/fig10.md
 took "fig10 (16/32/64 cores, the slow one)" "$start"
 if command -v python3 >/dev/null; then

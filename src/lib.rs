@@ -29,6 +29,8 @@
 //! # Ok::<(), pmem_spec::BuildSystemError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use pmem_spec as core;
 pub use pmemspec_crashtest as crashtest;
 pub use pmemspec_engine as engine;
