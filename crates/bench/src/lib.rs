@@ -13,6 +13,7 @@
 //! | `misspec` | §8.4 (misspeculation rates + synthetic inducer sweep) |
 //! | `ablation_detect` | Figure 4/6 (fetch- vs eviction-based detection) |
 //! | `explain` | cycle-accounting breakdown per design (+ Perfetto traces) |
+//! | `waterfall` | per-FASE latency waterfalls + p99 tail attribution |
 //! | `smoke` | CI gate: reduced grid vs `results/smoke_reference.json` |
 //! | `crashfuzz` | crash-consistency fuzzer + persistency litmus suite |
 //!

@@ -24,10 +24,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use pmem_spec::{run_program, ProfileReport, RunReport, System};
+use pmem_spec::{run_program, ProfileReport, RunReport, SpanReport, System};
 use pmemspec_engine::SimConfig;
 use pmemspec_isa::abs::AbsProgram;
-use pmemspec_isa::{lower_program, DesignKind, Program};
+use pmemspec_isa::{lower_program, lower_program_with_meta, DesignKind, Program, ProgramMeta};
 use pmemspec_workloads::{Benchmark, WorkloadParams};
 
 use crate::args::BenchArgs;
@@ -329,6 +329,23 @@ pub fn run_point_profiled(
         .run_profiled()
 }
 
+/// Like [`run_point_profiled`], but also traces per-FASE spans,
+/// returning the span report alongside the aggregate profile. Span
+/// tracing observes only, so the report still matches [`run_point`]'s
+/// byte-for-byte.
+pub fn run_point_spans(
+    benchmark: Benchmark,
+    design: DesignKind,
+    cfg: &SimConfig,
+    fases: usize,
+    seed: u64,
+) -> (RunReport, ProfileReport, SpanReport) {
+    let (program, meta) = lowered_program_with_meta(benchmark, design, cfg.cores, fases, seed);
+    System::new(cfg.clone(), program)
+        .expect("valid experiment")
+        .run_spans(&meta)
+}
+
 // ---------------------------------------------------------------------
 // Worker pool
 
@@ -415,6 +432,7 @@ type MemoMap<K, V> = Mutex<HashMap<K, std::sync::Arc<OnceLock<V>>>>;
 struct Memo {
     generated: MemoMap<GenKey, AbsProgram>,
     lowered: MemoMap<LowerKey, Arc<Program>>,
+    lowered_meta: MemoMap<LowerKey, (Arc<Program>, Arc<ProgramMeta>)>,
 }
 
 fn memo() -> &'static Memo {
@@ -422,6 +440,7 @@ fn memo() -> &'static Memo {
     MEMO.get_or_init(|| Memo {
         generated: Mutex::new(HashMap::new()),
         lowered: Mutex::new(HashMap::new()),
+        lowered_meta: Mutex::new(HashMap::new()),
     })
 }
 
@@ -431,6 +450,7 @@ fn memo() -> &'static Memo {
 pub fn clear_memo() {
     memo().generated.lock().expect("memo lock").clear();
     memo().lowered.lock().expect("memo lock").clear();
+    memo().lowered_meta.lock().expect("memo lock").clear();
 }
 
 fn memo_get<K, V, F>(map: &MemoMap<K, V>, key: K, build: F) -> std::sync::Arc<OnceLock<V>>
@@ -491,6 +511,32 @@ pub fn lowered_program(
     let cell = memo_get(&memo().lowered, key, || {
         let abs = generated_program(benchmark, threads, fases, seed);
         Arc::new(lower_program(design, &abs))
+    });
+    cell.get().expect("initialized above").clone()
+}
+
+/// Like [`lowered_program`], but pairs the program with its lowering
+/// metadata ([`ProgramMeta`]) for span tracing and static analysis.
+/// Memoized separately from the meta-less path (the two lowerings
+/// produce equal programs; a test pins that).
+pub fn lowered_program_with_meta(
+    benchmark: Benchmark,
+    design: DesignKind,
+    threads: usize,
+    fases: usize,
+    seed: u64,
+) -> (Arc<Program>, Arc<ProgramMeta>) {
+    let gen = GenKey {
+        benchmark,
+        threads,
+        fases,
+        seed,
+    };
+    let key = LowerKey { design, gen };
+    let cell = memo_get(&memo().lowered_meta, key, || {
+        let abs = generated_program(benchmark, threads, fases, seed);
+        let (program, meta) = lower_program_with_meta(design, &abs);
+        (Arc::new(program), Arc::new(meta))
     });
     cell.get().expect("initialized above").clone()
 }
@@ -610,6 +656,19 @@ mod tests {
         clear_memo();
         let c = lowered_program(Benchmark::ArraySwaps, DesignKind::PmemSpec, 2, 5, 11);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn meta_lowering_matches_the_plain_path() {
+        clear_memo();
+        let plain = lowered_program(Benchmark::Queue, DesignKind::PmemSpec, 2, 5, 11);
+        let (with_meta, meta) =
+            lowered_program_with_meta(Benchmark::Queue, DesignKind::PmemSpec, 2, 5, 11);
+        assert_eq!(plain, with_meta);
+        assert_eq!(meta.threads.len(), plain.thread_count());
+        for (i, t) in meta.threads.iter().enumerate() {
+            assert_eq!(t.ops.len(), plain.thread(i).ops().len());
+        }
     }
 
     #[test]

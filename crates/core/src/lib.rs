@@ -24,6 +24,9 @@
 //! * [`trace`] — Chrome/Perfetto trace export of simulated timelines;
 //! * [`profile`] — cycle accounting (every core cycle attributed to one
 //!   cause bucket) and queue-occupancy time series;
+//! * [`span`] — per-FASE latency spans: phase-transition waterfalls with
+//!   the span's cycles attributed to the profiler's buckets, plus tail
+//!   analysis (which constraint binds the p99+ FASEs);
 //! * [`report`] — per-run measurements (plus JSON export).
 //!
 //! # Quickstart
@@ -57,6 +60,7 @@ pub mod bloom;
 pub mod persist_buffer;
 pub mod profile;
 pub mod report;
+pub mod span;
 pub mod spec_buffer;
 pub mod strand_buffer;
 pub mod system;
@@ -64,6 +68,7 @@ pub mod trace;
 
 pub use profile::{Bucket, CoreBreakdown, ProfileReport};
 pub use report::RunReport;
+pub use span::{FaseSpan, SpanPhase, SpanReport};
 pub use spec_buffer::{Detection, DetectionMode, SpecBuffer};
 pub use system::{run_program, BuildSystemError, CrashOutcome, RecoveryPolicy, System};
 pub use trace::TraceRecorder;

@@ -140,7 +140,10 @@ impl Bucket {
         }
     }
 
-    fn index(self) -> usize {
+    /// This bucket's position in [`Bucket::ALL`] — the index into the
+    /// fixed-size count arrays ([`CoreBreakdown::buckets`],
+    /// [`crate::FaseSpan::buckets`]).
+    pub fn index(self) -> usize {
         Self::ALL
             .iter()
             .position(|&b| b == self)
@@ -207,6 +210,15 @@ impl Profiler {
             core.buckets[bucket.index()] += (until - core.accounted).raw();
             core.accounted = until;
         }
+    }
+
+    /// A snapshot of core `idx`'s bucket counters. The span tracer
+    /// diffs snapshots taken at FASE begin/commit: because the
+    /// instrumented loop keeps `accounted == core.time` at every step
+    /// boundary, the diff is an exact, conservation-checked waterfall
+    /// of the span's wall-cycles.
+    pub(crate) fn core_buckets(&self, idx: usize) -> [u64; Bucket::COUNT] {
+        self.cores[idx].buckets
     }
 
     /// The next due sample instant, if one is due by `now`.

@@ -59,6 +59,15 @@ impl RunReport {
     pub fn misspeculation_free(&self) -> bool {
         self.load_misspec_detected == 0 && self.store_misspec_detected == 0
     }
+
+    /// The per-FASE commit-latency histogram, if any FASE committed.
+    /// This measures each FASE's *committing attempt* only (the clock
+    /// restarts on a post-abort retry); the span tracer's
+    /// [`crate::SpanReport`] measures first-begin to commit, retries
+    /// included, so its quantiles bound these from above.
+    pub fn fase_latency(&self) -> Option<&pmemspec_engine::stats::Histogram> {
+        self.stats.histogram("fase.latency")
+    }
 }
 
 impl RunReport {

@@ -48,7 +48,7 @@ use pmemspec_engine::pagemap::PageMap;
 use pmemspec_engine::stats::Stats;
 use pmemspec_engine::wheel::EventWheel;
 use pmemspec_isa::addr::{Addr, LineAddr, LINE_BYTES, PM_BASE, WORD_BYTES};
-use pmemspec_isa::{DesignKind, LockId, Op, Program, ValueSrc};
+use pmemspec_isa::{DesignKind, LockId, Op, OpRole, Program, ProgramMeta, ValueSrc};
 use pmemspec_mem::hierarchy::{AccessKind, CacheHierarchy, ServedFrom};
 use pmemspec_mem::pmc::controller_for;
 use pmemspec_mem::{Dram, MemoryImage, PersistPath, PmController};
@@ -57,6 +57,7 @@ use crate::bloom::CountingBloom;
 use crate::persist_buffer::EpochPersistBuffer;
 use crate::profile::{Bucket, ProfileReport, Profiler};
 use crate::report::RunReport;
+use crate::span::{phase_of, SpanReport, SpanTracer};
 use crate::spec_buffer::{Detection, DetectionMode, SpecBuffer};
 use crate::strand_buffer::StrandBuffer;
 use crate::trace::TraceRecorder;
@@ -430,6 +431,32 @@ struct LockState {
     waiters: VecDeque<usize>,
 }
 
+/// A speculation tag compressed into one word (`u64::MAX` means
+/// "none"): keeps [`PmcEventKind::PersistWord`] — the hottest payload
+/// copied through the wheel slab — a word smaller than an
+/// `Option<u64>` field would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SpecTag(u64);
+
+impl SpecTag {
+    /// No speculation tag.
+    const NONE: SpecTag = SpecTag(u64::MAX);
+
+    fn new(id: Option<u64>) -> Self {
+        match id {
+            Some(v) => {
+                debug_assert_ne!(v, u64::MAX, "u64::MAX is the None sentinel");
+                SpecTag(v)
+            }
+            None => SpecTag::NONE,
+        }
+    }
+
+    fn get(self) -> Option<u64> {
+        (self.0 != u64::MAX).then_some(self.0)
+    }
+}
+
 /// What the PM controller observes, time-ordered.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum PmcEventKind {
@@ -441,10 +468,10 @@ enum PmcEventKind {
     PersistWord {
         addr: Addr,
         value: u64,
-        spec_id: Option<u64>,
         commit: Cycle,
+        spec: SpecTag,
         /// Issuing core, for the strict-persistency ground-truth check.
-        core: usize,
+        core: u32,
     },
     /// A whole-line writeback arriving from the cache hierarchy
     /// (IntelX86 CLWB or dirty eviction).
@@ -621,6 +648,9 @@ pub struct System {
     /// fence/CLWB/checkpoint/FASE-marker execution instants), recorded by
     /// [`System::run_boundaries`] for crash-point samplers.
     boundary_log: Option<Vec<Cycle>>,
+    /// Optional per-FASE span tracing (implies `profiler`). Observes
+    /// only, like the profiler.
+    spans: Option<SpanTracer>,
 }
 
 impl System {
@@ -774,6 +804,7 @@ impl System {
             tracer: None,
             profiler: None,
             boundary_log: None,
+            spans: None,
             cfg,
             program,
         })
@@ -977,10 +1008,11 @@ impl System {
                 PmcEventKind::PersistWord {
                     addr,
                     value,
-                    spec_id,
                     commit,
+                    spec: spec_tag,
                     core,
                 } => {
+                    let core = core as usize;
                     // Ground truth: strict persistency requires each
                     // core's persists to apply in dispatch order, across
                     // *all* lines and controllers (§7's hazard shows up
@@ -1034,8 +1066,8 @@ impl System {
                     let n = self.pmcs.len();
                     match &mut self.machinery {
                         Machinery::PmemSpec { spec, .. } => {
-                            let (detections, stall) =
-                                spec[controller_for(line.raw(), n)].on_persist(line, spec_id, time);
+                            let (detections, stall) = spec[controller_for(line.raw(), n)]
+                                .on_persist(line, spec_tag.get(), time);
                             self.note_overflow(stall);
                             self.handle_detections(detections);
                         }
@@ -1219,9 +1251,9 @@ impl System {
                 PmcEventKind::PersistWord {
                     addr,
                     value: old,
-                    spec_id: None,
                     commit: t,
-                    core: idx,
+                    spec: SpecTag::NONE,
+                    core: idx as u32,
                 },
             );
         }
@@ -1427,9 +1459,9 @@ impl System {
                                 PmcEventKind::PersistWord {
                                     addr,
                                     value,
-                                    spec_id: None,
                                     commit,
-                                    core: idx,
+                                    spec: SpecTag::NONE,
+                                    core: idx as u32,
                                 },
                             );
                         }
@@ -1455,9 +1487,9 @@ impl System {
                                 PmcEventKind::PersistWord {
                                     addr,
                                     value,
-                                    spec_id: None,
                                     commit,
-                                    core: idx,
+                                    spec: SpecTag::NONE,
+                                    core: idx as u32,
                                 },
                             );
                         }
@@ -1474,9 +1506,9 @@ impl System {
                                 PmcEventKind::PersistWord {
                                     addr,
                                     value,
-                                    spec_id: None,
                                     commit,
-                                    core: idx,
+                                    spec: SpecTag::NONE,
+                                    core: idx as u32,
                                 },
                             );
                         }
@@ -1510,9 +1542,9 @@ impl System {
                                 PmcEventKind::PersistWord {
                                     addr,
                                     value,
-                                    spec_id: spec_tag,
                                     commit: dispatch,
-                                    core: idx,
+                                    spec: SpecTag::new(spec_tag),
+                                    core: idx as u32,
                                 },
                             );
                             if self.cores[idx].nonspec_retry {
@@ -1966,6 +1998,7 @@ impl System {
         let instrumented = self.profiler.is_some()
             || self.tracer.is_some()
             || self.boundary_log.is_some()
+            || self.spans.is_some()
             || self.policy == RecoveryPolicy::Eager;
         if instrumented {
             self.run_loop_instrumented();
@@ -2016,6 +2049,9 @@ impl System {
                 && self.cores[idx].flag_time <= t
             {
                 self.abort_fase(idx);
+                if let Some(sp) = &mut self.spans {
+                    sp.on_abort(idx, t);
+                }
                 continue;
             }
             let pc_before = self.cores[idx].pc;
@@ -2035,6 +2071,61 @@ impl System {
             self.step(idx);
             if self.tracer.is_some() {
                 self.record_step(idx, pc_before, t);
+            }
+            if self.spans.is_some() {
+                self.record_span_step(idx, pc_before, t);
+            }
+        }
+    }
+
+    /// Feeds the just-executed instruction to the span tracer: opens a
+    /// span at `FaseBegin` (or records a post-abort retry), closes it
+    /// at a committing `FaseEnd` (one that left the core inside its
+    /// FASE was a lazy abort instead), and records a phase transition
+    /// for everything in between. Observes only — reads the profiler's
+    /// counters and the core's clock, writes neither.
+    fn record_span_step(&mut self, idx: usize, pc_before: usize, start: Cycle) {
+        let Some(role) = self.spans.as_ref().and_then(|sp| sp.role(idx, pc_before)) else {
+            return;
+        };
+        match role {
+            OpRole::FaseBegin => {
+                let Some(&Op::FaseBegin { fase }) = self.program.thread(idx).ops().get(pc_before)
+                else {
+                    return;
+                };
+                let snap = self
+                    .profiler
+                    .as_ref()
+                    .expect("span tracing implies profiling")
+                    .core_buckets(idx);
+                if let Some(sp) = &mut self.spans {
+                    sp.on_begin(idx, fase, start, snap);
+                }
+            }
+            OpRole::FaseEnd => {
+                if self.cores[idx].in_fase {
+                    // The commit point found the misspeculation flag
+                    // set: this step was a lazy abort, not a commit.
+                    if let Some(sp) = &mut self.spans {
+                        sp.on_abort(idx, start);
+                    }
+                } else {
+                    let end = self.cores[idx].time;
+                    let snap = self
+                        .profiler
+                        .as_ref()
+                        .expect("span tracing implies profiling")
+                        .core_buckets(idx);
+                    if let Some(sp) = &mut self.spans {
+                        sp.on_commit(idx, end, snap);
+                    }
+                }
+            }
+            _ => {
+                if let Some(sp) = &mut self.spans {
+                    sp.on_phase(idx, phase_of(role), start);
+                }
             }
         }
     }
@@ -2193,6 +2284,38 @@ impl System {
         self
     }
 
+    /// Enables per-FASE span tracing driven by the lowering metadata
+    /// `meta` (from [`pmemspec_isa::lower_program_with_meta`]); implies
+    /// [`System::with_profiling`], since each span's bucket waterfall
+    /// is a diff of the profiler's counters. Retrieve the spans with
+    /// [`System::run_spans`]. Like profiling, span tracing observes
+    /// only: the run's [`RunReport`] and persistent image are
+    /// byte-identical with or without it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `meta` does not describe this system's program
+    /// (thread count or per-thread op counts disagree).
+    pub fn with_span_tracing(mut self, meta: &ProgramMeta) -> Self {
+        assert_eq!(
+            meta.threads.len(),
+            self.program.thread_count(),
+            "span metadata thread count must match the program"
+        );
+        for (i, t) in meta.threads.iter().enumerate() {
+            assert_eq!(
+                t.ops.len(),
+                self.program.thread(i).ops().len(),
+                "span metadata for thread {i} must align with its op stream"
+            );
+        }
+        if self.profiler.is_none() {
+            self = self.with_profiling();
+        }
+        self.spans = Some(SpanTracer::new(meta));
+        self
+    }
+
     /// Records any occupancy samples due by `now` (fixed cadence, with
     /// catch-up over large time jumps).
     fn sample_occupancy(&mut self, now: Cycle) {
@@ -2279,6 +2402,84 @@ impl System {
         (report, tracer, profile)
     }
 
+    /// Runs with per-FASE span tracing (see
+    /// [`System::with_span_tracing`], enabled here if it was not
+    /// already), returning the report, the aggregate cycle profile, and
+    /// the per-FASE spans. Each span's bucket sums reconcile exactly
+    /// with the profile for the cycles it covers.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`System::run`] and [`System::with_span_tracing`].
+    pub fn run_spans(self, meta: &ProgramMeta) -> (RunReport, ProfileReport, SpanReport) {
+        let (report, _, _, profile, spans) = self.run_span_instrumented(meta, false);
+        (report, profile, spans)
+    }
+
+    /// Like [`System::run_spans`], but also records the instruction
+    /// trace so the FASE spans can merge into it as named Perfetto
+    /// slices ([`SpanReport::add_fase_tracks`]).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`System::run_spans`].
+    pub fn run_spans_traced(
+        self,
+        meta: &ProgramMeta,
+    ) -> (RunReport, TraceRecorder, ProfileReport, SpanReport) {
+        let (report, _, tracer, profile, spans) = self.run_span_instrumented(meta, true);
+        (report, tracer, profile, spans)
+    }
+
+    /// Like [`System::run_spans`], but also returns the final memory
+    /// image (the timing-neutrality differential tests check
+    /// persistent-state identity against an untraced run).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`System::run_spans`].
+    pub fn run_spans_full(
+        self,
+        meta: &ProgramMeta,
+    ) -> (RunReport, MemoryImage, ProfileReport, SpanReport) {
+        let (report, image, _, profile, spans) = self.run_span_instrumented(meta, false);
+        (report, image, profile, spans)
+    }
+
+    fn run_span_instrumented(
+        mut self,
+        meta: &ProgramMeta,
+        trace: bool,
+    ) -> (
+        RunReport,
+        MemoryImage,
+        TraceRecorder,
+        ProfileReport,
+        SpanReport,
+    ) {
+        if self.spans.is_none() {
+            self = self.with_span_tracing(meta);
+        }
+        if trace && self.tracer.is_none() {
+            self.tracer = Some(TraceRecorder::new(self.cfg.cores));
+        }
+        self.run_loop();
+        let profiler = self
+            .profiler
+            .take()
+            .expect("span tracing implies profiling");
+        let tracer = self.tracer.take().unwrap_or_default();
+        let spans = self.spans.take().expect("span tracing enabled above");
+        let final_times: Vec<Cycle> = self.cores.iter().map(|c| c.time).collect();
+        let llc_dirty = self.hierarchy.llc_dirty_pm_lines();
+        let design = self.program.design();
+        let image = std::mem::take(&mut self.image);
+        let report = self.build_report();
+        let profile = profiler.finish(design, &final_times, report.total_time, llc_dirty);
+        let span_report = SpanReport::new(design, spans.finish());
+        (report, image, tracer, profile, span_report)
+    }
+
     /// Runs to completion and returns the report together with the
     /// recorded trace (empty unless [`System::with_trace`] was called).
     ///
@@ -2347,4 +2548,30 @@ pub fn run_program(
     program: impl Into<Arc<Program>>,
 ) -> Result<RunReport, BuildSystemError> {
     Ok(System::new(cfg, program)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persist_word_payload_stays_small() {
+        // PersistWord is the hottest payload copied through the wheel
+        // slab (ROADMAP perf lever): the compressed SpecTag and u32
+        // core keep the whole event kind at five words instead of the
+        // seven the Option<u64>/usize layout needed.
+        assert!(
+            std::mem::size_of::<PmcEventKind>() <= 40,
+            "PmcEventKind grew to {} bytes",
+            std::mem::size_of::<PmcEventKind>()
+        );
+    }
+
+    #[test]
+    fn spec_tag_round_trips() {
+        assert_eq!(SpecTag::new(None).get(), None);
+        assert_eq!(SpecTag::new(Some(0)).get(), Some(0));
+        assert_eq!(SpecTag::new(Some(41)).get(), Some(41));
+        assert_eq!(SpecTag::NONE.get(), None);
+    }
 }

@@ -39,6 +39,9 @@ pub struct TraceRecorder {
     /// lane ([`TraceRecorder::pmc_lane`]).
     cores: usize,
     events: Vec<TraceEvent>,
+    /// Names of extra lanes past the PM controller (FASE span tracks and
+    /// the like), allocated with [`TraceRecorder::add_lane`].
+    extra_lanes: Vec<String>,
 }
 
 impl TraceRecorder {
@@ -47,6 +50,7 @@ impl TraceRecorder {
         TraceRecorder {
             cores,
             events: Vec::new(),
+            extra_lanes: Vec::new(),
         }
     }
 
@@ -54,6 +58,15 @@ impl TraceRecorder {
     /// last core lane.
     pub fn pmc_lane(&self) -> usize {
         self.cores
+    }
+
+    /// Allocates a named extra lane past the PM controller and returns
+    /// its `tid` (pass it to [`TraceRecorder::span`]). Lane names are
+    /// announced in the trace's `thread_name` metadata like the core and
+    /// PMC lanes.
+    pub fn add_lane(&mut self, name: impl Into<String>) -> usize {
+        self.extra_lanes.push(name.into());
+        self.cores + self.extra_lanes.len()
     }
 
     /// Records a span on a core.
@@ -135,6 +148,15 @@ impl TraceRecorder {
                 ),
                 &mut out,
             );
+            for (i, name) in self.extra_lanes.iter().enumerate() {
+                emit(
+                    &format!(
+                        r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":"{name}"}}}}"#,
+                        self.cores + 1 + i
+                    ),
+                    &mut out,
+                );
+            }
         }
         for e in &self.events {
             let ts = e.start.raw() as f64 / 2000.0; // cycles -> us at 2 GHz
@@ -219,6 +241,26 @@ mod tests {
             .contains(r#""name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"core 0"}"#));
         assert!(json.contains(r#""tid":1,"args":{"name":"core 1"}"#));
         assert!(json.contains(r#""tid":2,"args":{"name":"pmc"}"#));
+    }
+
+    #[test]
+    fn extra_lanes_follow_the_pmc_and_are_named() {
+        let mut t = TraceRecorder::new(2);
+        let a = t.add_lane("core 0 fases");
+        let b = t.add_lane("core 1 fases");
+        assert_eq!(a, 3, "first extra lane follows the PMC lane");
+        assert_eq!(b, 4);
+        t.span(a, "fase 0", Cycle::from_raw(0), Cycle::from_raw(4));
+        let json = t.to_chrome_trace();
+        assert!(
+            json.contains(r#""tid":3,"args":{"name":"core 0 fases"}"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""tid":4,"args":{"name":"core 1 fases"}"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""name":"fase 0","ph":"X""#), "{json}");
     }
 
     #[test]

@@ -135,6 +135,27 @@ impl Histogram {
     pub fn p99(&self) -> Option<Duration> {
         self.percentile(0.99)
     }
+
+    /// 99.9th-percentile sample.
+    pub fn p999(&self) -> Option<Duration> {
+        self.percentile(0.999)
+    }
+
+    /// A compact one-line quantile row (raw cycles, no units):
+    /// `n=… p50=… p95=… p99=… p99.9=… max=…`. Unlike the interpolated
+    /// percentiles, `max` is exact (streamed). Made for markdown table
+    /// cells, where [`Histogram`]'s `Display` is too wide.
+    pub fn compact_row(&self) -> String {
+        format!(
+            "n={} p50={} p95={} p99={} p99.9={} max={}",
+            self.count,
+            self.p50().unwrap_or(Duration::ZERO).raw(),
+            self.p95().unwrap_or(Duration::ZERO).raw(),
+            self.p99().unwrap_or(Duration::ZERO).raw(),
+            self.p999().unwrap_or(Duration::ZERO).raw(),
+            self.max().unwrap_or(Duration::ZERO).raw(),
+        )
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -448,6 +469,37 @@ mod tests {
         let s = h.to_string();
         assert!(s.contains("p50=4cy"), "{s}");
         assert!(s.contains("p99=4cy"), "{s}");
+    }
+
+    #[test]
+    fn p999_sits_between_p99_and_max() {
+        // 998 fast samples and two slow ones: p99 stays fast, p99.9
+        // (rank 999 of 1000) has to reach into the tail bucket, max is
+        // the exact outlier.
+        let mut h = Histogram::new();
+        for _ in 0..998 {
+            h.record(Duration::from_cycles(2));
+        }
+        h.record(Duration::from_cycles(1000));
+        h.record(Duration::from_cycles(1000));
+        let p99 = h.p99().unwrap().raw();
+        assert!(p99 <= 3, "p99 stays in the fast bucket, got {p99}");
+        let p999 = h.p999().unwrap().raw();
+        assert!(p999 >= 512, "p99.9 reaches the tail bucket, got {p999}");
+        assert_eq!(h.max().unwrap().raw(), 1000, "max is exact");
+    }
+
+    #[test]
+    fn compact_row_is_raw_cycles() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(Duration::from_cycles(8));
+        }
+        assert_eq!(h.compact_row(), "n=10 p50=8 p95=8 p99=8 p99.9=8 max=8");
+        assert_eq!(
+            Histogram::new().compact_row(),
+            "n=0 p50=0 p95=0 p99=0 p99.9=0 max=0"
+        );
     }
 
     #[test]

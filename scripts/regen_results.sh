@@ -38,6 +38,9 @@ start=$(now_ms)
 ./target/release/explain --out results --collapsed "$@" > /dev/null
 took "explain (cycle-accounting breakdown)" "$start"
 start=$(now_ms)
+./target/release/waterfall --out results "$@" > /dev/null
+took "waterfall (per-FASE span waterfalls)" "$start"
+start=$(now_ms)
 ./target/release/lint --out results "$@" > /dev/null
 took "lint (static persistency verifier)" "$start"
 start=$(now_ms)
